@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite: paper-style table reporting.
+
+Every bench prints the rows the paper's table/figure reports and appends
+them to ``benchmarks/results/<name>.txt`` so a full ``pytest benchmarks/
+--benchmark-only`` run leaves a complete paper-vs-measured record behind.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, title: str, lines: list[str]) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    block = [f"=== {title} ==="] + lines + [""]
+    text = "\n".join(block)
+    print("\n" + text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def fmt_row(*cols, widths=None) -> str:
+    widths = widths or [12] * len(cols)
+    out = []
+    for c, w in zip(cols, widths):
+        if isinstance(c, float):
+            out.append(f"{c:>{w}.4g}")
+        else:
+            out.append(f"{str(c):>{w}}")
+    return " ".join(out)

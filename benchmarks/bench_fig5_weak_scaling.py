@@ -1,0 +1,34 @@
+"""EXP-F5 — Fig. 5: weak scaling of LDC-DFT on the virtual Blue Gene/Q.
+
+Paper: wall-clock per QMD step nearly flat for 64·P-atom SiC on P = 16 …
+786,432 cores; parallel efficiency 0.984 at the full machine.
+"""
+
+from _harness import fmt_row, report
+
+from repro.perfmodel.scaling import WeakScalingModel
+
+CORE_COUNTS = [16, 64, 256, 1024, 4096, 16_384, 65_536, 262_144, 786_432]
+
+
+def run_weak_scaling():
+    model = WeakScalingModel()
+    return model.curve(CORE_COUNTS)
+
+
+def test_fig5_weak_scaling(benchmark):
+    points = benchmark(run_weak_scaling)
+    lines = [fmt_row("cores", "atoms", "t/step[s]", "efficiency")]
+    for p in points:
+        lines.append(fmt_row(p.cores, p.natoms, p.wall_clock, p.efficiency))
+    full = points[-1]
+    lines.append("")
+    lines.append(f"paper:    efficiency 0.984 @ 786,432 cores, 50,331,648 atoms")
+    lines.append(f"measured: efficiency {full.efficiency:.3f} @ {full.cores:,} cores, "
+                 f"{full.natoms:,} atoms")
+    report("fig5_weak_scaling", "Fig. 5 — weak scaling", lines)
+    assert abs(full.efficiency - 0.984) < 0.01
+    assert full.natoms == 50_331_648
+    # near-flat wall-clock is the figure's visual claim
+    times = [p.wall_clock for p in points]
+    assert max(times) / min(times) < 1.05

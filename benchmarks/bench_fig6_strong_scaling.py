@@ -1,0 +1,33 @@
+"""EXP-F6 — Fig. 6: strong scaling on the 77,889-atom LiAl-water system.
+
+Paper: speedup 12.85 (efficiency 0.803) going from 49,152 to 786,432 cores.
+"""
+
+from _harness import fmt_row, report
+
+from repro.perfmodel.scaling import StrongScalingModel
+
+CORE_COUNTS = [49_152, 98_304, 196_608, 393_216, 786_432]
+
+
+def run_strong_scaling():
+    model = StrongScalingModel()
+    return model, model.curve(CORE_COUNTS)
+
+
+def test_fig6_strong_scaling(benchmark):
+    model, points = benchmark(run_strong_scaling)
+    lines = [fmt_row("cores", "t/step[s]", "speedup", "efficiency")]
+    for p in points:
+        lines.append(
+            fmt_row(p.cores, p.wall_clock, model.speedup(p.cores), p.efficiency)
+        )
+    s = model.speedup(786_432)
+    lines.append("")
+    lines.append("paper:    speedup 12.85 (efficiency 0.803) at 16x cores")
+    lines.append(f"measured: speedup {s:.2f} (efficiency {s / 16:.3f}) at 16x cores")
+    report("fig6_strong_scaling", "Fig. 6 — strong scaling", lines)
+    assert abs(s - 12.85) < 0.8
+    # wall-clock must decrease monotonically with cores
+    times = [p.wall_clock for p in points]
+    assert all(b < a for a, b in zip(times, times[1:]))

@@ -1,0 +1,52 @@
+"""EXP-PROD — Sec. 6: the production-campaign accounting.
+
+Paper: 16,661 atoms (43,708 electrons) for 21,140 time steps = 129,208 SCF
+iterations at Δt = 0.242 fs (≈ 5.1 ps of dynamics), run in ~12-hour
+sessions on all 786,432 cores; "we are not aware of any QMD simulation for
+such long time".
+"""
+
+from _harness import fmt_row, report
+
+from repro.perfmodel.campaign import (
+    PAPER_PRODUCTION,
+    PAPER_VERIFICATION,
+    plan_campaign,
+)
+
+
+def test_production_accounting(benchmark):
+    plan = benchmark(lambda: plan_campaign(PAPER_PRODUCTION))
+    spec = plan.spec
+    lines = [
+        fmt_row("quantity", "value", widths=[40, 16]),
+        fmt_row("atoms", spec.natoms, widths=[40, 16]),
+        fmt_row("QMD steps", spec.nsteps, widths=[40, 16]),
+        fmt_row("SCF iterations", spec.scf_iterations, widths=[40, 16]),
+        fmt_row("SCF per step", spec.scf_per_step, widths=[40, 16]),
+        fmt_row("simulated time [ps]", spec.simulated_ps, widths=[40, 16]),
+        fmt_row("predicted s/SCF @786,432 cores", plan.seconds_per_scf,
+                widths=[40, 16]),
+        fmt_row("predicted campaign [hours]", plan.total_hours, widths=[40, 16]),
+        fmt_row("12-hour sessions", plan.sessions_12h, widths=[40, 16]),
+        fmt_row("checkpoint write per session [s]",
+                plan.io_seconds_per_session, widths=[40, 16]),
+        "",
+        "paper: 21,140 steps x 0.242 fs = 5.12 ps; 6.11 SCF/step; ~12 h sessions",
+    ]
+    report("sec6_production", "Sec. 6 — production campaign", lines)
+
+    # bookkeeping identities from the paper's own numbers
+    assert spec.simulated_ps ==.242 * 21_140 / 1000
+    assert abs(spec.scf_per_step - 6.11) < 0.02
+    # the campaign must be feasible: hours, not years, and multiple sessions
+    assert 1.0 < plan.total_hours < 2000.0
+    assert plan.sessions_12h > 1.0
+    # I/O per session stays negligible vs 12 h
+    assert plan.io_seconds_per_session < 0.01 * 12 * 3600
+
+
+def test_verification_campaign_smaller(benchmark):
+    plan_small = benchmark(lambda: plan_campaign(PAPER_VERIFICATION))
+    plan_big = plan_campaign(PAPER_PRODUCTION)
+    assert plan_small.seconds_per_scf < plan_big.seconds_per_scf

@@ -1,0 +1,43 @@
+"""EXP-T1 — Table 1: FLOP/s vs hardware threads per core on Blue Gene/Q.
+
+Paper (512-atom SiC, 64 MPI ranks):
+
+    nodes |  1 thr       2 thr       4 thr
+      4   | 236 (28.8%)  343 (41.9%)  445 (54.3%)
+      8   | 433 (26.4%)  563 (34.4%)  746 (45.6%)
+     16   | 806 (24.6%) 1017 (31.0%) 1535 (46.8%)
+"""
+
+from _harness import fmt_row, report
+
+from repro.perfmodel.threading import flops_table
+
+PAPER = {
+    (4, 1): (236, 28.8), (4, 2): (343, 41.9), (4, 4): (445, 54.3),
+    (8, 1): (433, 26.4), (8, 2): (563, 34.4), (8, 4): (746, 45.6),
+    (16, 1): (806, 24.6), (16, 2): (1017, 31.0), (16, 4): (1535, 46.8),
+}
+
+
+def test_table1_threading(benchmark):
+    rows = benchmark(flops_table)
+    by_key = {(r.nodes, r.threads_per_core): r for r in rows}
+    lines = [fmt_row("nodes", "thr/core", "model GF/s", "model %",
+                     "paper GF/s", "paper %")]
+    for key, (p_gf, p_pct) in PAPER.items():
+        r = by_key[key]
+        lines.append(fmt_row(key[0], key[1], r.gflops, r.percent_peak, p_gf, p_pct))
+    report("table1_threading", "Table 1 — FLOP/s vs threads", lines)
+
+    # shape claims
+    for nodes in (4, 8, 16):
+        assert (
+            by_key[(nodes, 1)].gflops
+            < by_key[(nodes, 2)].gflops
+            < by_key[(nodes, 4)].gflops
+        )
+    for t in (1, 2, 4):
+        assert by_key[(4, t)].percent_peak > by_key[(16, t)].percent_peak
+    # magnitude: within ~20% of every paper cell
+    for key, (p_gf, _) in PAPER.items():
+        assert abs(by_key[key].gflops - p_gf) / p_gf < 0.25

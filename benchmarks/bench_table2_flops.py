@@ -1,0 +1,33 @@
+"""EXP-T2 — Table 2: FLOP/s on Mira racks (weak-scaled SiC, 4 threads/core).
+
+Paper:
+    1 rack  (16,384 cores):   113.23 TFLOP/s  (53.99 %)
+    2 racks (32,768 cores):   226.32 TFLOP/s  (53.96 %)
+    48 racks (786,432 cores): 5,081.0 TFLOP/s (50.46 %)
+"""
+
+from _harness import fmt_row, report
+
+from repro.perfmodel.threading import rack_table
+
+PAPER = {1: (113.23, 53.99), 2: (226.32, 53.96), 48: (5081.0, 50.46)}
+
+
+def test_table2_rack_flops(benchmark):
+    rows = benchmark(rack_table)
+    lines = [fmt_row("racks", "cores", "model TF/s", "model %",
+                     "paper TF/s", "paper %")]
+    for racks, row in zip((1, 2, 48), rows):
+        p_tf, p_pct = PAPER[racks]
+        lines.append(
+            fmt_row(racks, row.nodes * 16, row.gflops / 1e3,
+                    row.percent_peak, p_tf, p_pct)
+        )
+    report("table2_rack_flops", "Table 2 — FLOP/s on Mira", lines)
+
+    for racks, row in zip((1, 2, 48), rows):
+        p_tf, p_pct = PAPER[racks]
+        assert abs(row.gflops / 1e3 - p_tf) / p_tf < 0.05
+        assert abs(row.percent_peak - p_pct) < 2.0
+    # the paper's headline: 5.08 PFLOP/s, 50.5% of peak at the full machine
+    assert rows[-1].gflops / 1e6 > 4.8

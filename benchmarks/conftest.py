@@ -1,0 +1,27 @@
+"""Benchmark fixtures shared across the per-figure/table benches."""
+
+import sys
+import pathlib
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+
+@pytest.fixture(scope="session")
+def cdse16_amorphous():
+    """The amorphous CdSe workload of Fig. 7 (downscaled to 16 atoms)."""
+    from repro.systems import amorphous_cdse
+
+    return amorphous_cdse((2, 1, 1), displacement=0.3, seed=3)
+
+
+@pytest.fixture(scope="session")
+def cdse16_reference(cdse16_amorphous):
+    """Session-cached O(N³) reference for the LDC physics benches."""
+    from repro.dft.scf import SCFOptions, run_scf
+
+    return run_scf(
+        cdse16_amorphous,
+        SCFOptions(ecut=3.0, tol=1e-7, extra_bands=8, kt=0.02, eig_tol=1e-8),
+    )

@@ -1,0 +1,42 @@
+"""Divide-Conquer-Recombine (Sec. 7): global frontier orbitals and DOS from
+domain-local LDC solutions.
+
+The DC phase gives globally informed local orbitals; the recombine phase
+uses them as compact bases to synthesize global properties — here the
+global HOMO/LUMO spectrum (compared against the O(N³) reference) and the
+density of states.
+
+Run:  python examples/dcr_frontier.py
+"""
+
+import numpy as np
+
+from repro.core import LDCOptions, run_ldc
+from repro.core.dcr import density_of_states, recombine_frontier
+from repro.dft.scf import SCFOptions, run_scf
+from repro.systems import dimer
+
+system = dimer("H", "H", 1.5, 12.0)
+
+print("divide/conquer: LDC-DFT with 2 domains...")
+ldc = run_ldc(
+    system,
+    LDCOptions(ecut=6.0, domains=(2, 1, 1), buffer=2.5, tol=1e-6, extra_bands=4),
+)
+
+print("recombine: global frontier orbitals from domain fragments...")
+frontier = recombine_frontier(system, ldc, n_frontier=3)
+
+reference = run_scf(system, SCFOptions(ecut=6.0, tol=1e-7, extra_bands=4))
+
+print(f"\n{'state':>6} {'DCR [Ha]':>10} {'O(N^3) [Ha]':>12}")
+for k in range(min(4, len(frontier.energies))):
+    print(f"{k:>6} {frontier.energies[k]:>10.4f} {reference.eigenvalues[k]:>12.4f}")
+print(f"\nHOMO: {frontier.homo:+.4f} (reference {reference.eigenvalues[0]:+.4f})")
+print(f"gap : {frontier.gap:.4f} Ha from {frontier.n_fragments} fragments")
+
+energies, dos = density_of_states(ldc, broadening=0.02)
+occupied = energies <= ldc.mu
+print(f"\nDOS: {np.trapezoid(dos[occupied], energies[occupied]):.2f} states "
+      f"below mu (mu = {ldc.mu:+.4f} Ha); "
+      f"{np.trapezoid(dos, energies):.2f} states total")

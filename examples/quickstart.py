@@ -1,0 +1,38 @@
+"""Quickstart: solve a small system with O(N) LDC-DFT and verify it against
+the conventional O(N³) plane-wave code (the Sec. 5.5 verification protocol).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import LDCOptions, run_ldc
+from repro.dft.scf import SCFOptions, run_scf
+from repro.systems import dimer
+
+# -- a toy H2 molecule in a periodic box -------------------------------------
+molecule = dimer("H", "H", separation=1.5, cell_edge=12.0)
+print(f"System: H2, {molecule.natoms} atoms, {molecule.n_electrons():.0f} electrons")
+
+# -- conventional O(N^3) reference --------------------------------------------
+scf = run_scf(molecule, SCFOptions(ecut=6.0, tol=1e-7))
+print(f"O(N^3) reference : E = {scf.energy:+.6f} Ha "
+      f"({scf.iterations} SCF iterations, converged={scf.converged})")
+
+# -- LDC-DFT: 2 domains along x, 2.5 Bohr buffer -------------------------------
+ldc = run_ldc(
+    molecule,
+    LDCOptions(ecut=6.0, domains=(2, 1, 1), buffer=2.5, mode="ldc", tol=1e-6),
+    compute_forces=True,
+)
+print(f"LDC-DFT (O(N))   : E = {ldc.energy:+.6f} Ha "
+      f"({ldc.iterations} SCF iterations, {ldc.n_domains} domains)")
+print(f"agreement        : {abs(ldc.energy - scf.energy) * 1e3:.3f} mHa")
+print(f"chemical potential μ = {ldc.mu:+.4f} Ha")
+print("forces (Ha/Bohr):")
+print(np.array_str(ldc.forces, precision=5, suppress_small=True))
+
+# -- per-component energy breakdown --------------------------------------------
+print("\nenergy components (Ha):")
+for name, value in ldc.components.items():
+    print(f"  {name:>15s} : {value:+.6f}")

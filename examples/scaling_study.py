@@ -1,0 +1,56 @@
+"""Weak/strong scaling study on the virtual Blue Gene/Q (Figs. 5-6, Sec. 5.2).
+
+Prints the same series the paper's figures plot: wall-clock per QMD step vs
+core count, parallel efficiencies, the FLOP/s tables, and the
+time-to-solution comparison against prior state of the art.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.perfmodel.metrics import (
+    PRIOR_ART,
+    atom_iterations_per_second,
+    speedup_over,
+)
+from repro.perfmodel.scaling import StrongScalingModel, WeakScalingModel
+from repro.perfmodel.threading import flops_table, rack_table
+
+# -- Fig. 5: weak scaling ------------------------------------------------------
+print("=== Fig. 5 — weak scaling (64 atoms/core SiC) ===")
+weak = WeakScalingModel()
+print(f"{'cores':>8} {'atoms':>12} {'t/step [s]':>11} {'efficiency':>10}")
+for cores in (16, 128, 1024, 8192, 65_536, 262_144, 786_432):
+    p = weak.point(cores)
+    print(f"{p.cores:>8} {p.natoms:>12} {p.wall_clock:>11.1f} {p.efficiency:>10.3f}")
+
+# -- Fig. 6: strong scaling ------------------------------------------------------
+print("\n=== Fig. 6 — strong scaling (77,889-atom LiAl-water) ===")
+strong = StrongScalingModel()
+print(f"{'cores':>8} {'t/step [s]':>11} {'speedup':>8} {'efficiency':>10}")
+for cores in (49_152, 98_304, 196_608, 393_216, 786_432):
+    p = strong.point(cores)
+    print(f"{p.cores:>8} {p.wall_clock:>11.2f} "
+          f"{strong.speedup(cores):>8.2f} {p.efficiency:>10.3f}")
+
+# -- Table 1 ----------------------------------------------------------------------
+print("\n=== Table 1 — GFLOP/s vs threads/core (512-atom SiC, 64 ranks) ===")
+print(f"{'nodes':>6} | " + " | ".join(f"{t} thr/core" for t in (1, 2, 4)))
+rows = flops_table()
+for nodes in (4, 8, 16):
+    cells = [r for r in rows if r.nodes == nodes]
+    print(f"{nodes:>6} | " + " | ".join(
+        f"{c.gflops:6.0f} ({c.percent_peak:4.1f}%)" for c in cells))
+
+# -- Table 2 -----------------------------------------------------------------------
+print("\n=== Table 2 — FLOP/s on Mira racks ===")
+for r, row in zip((1, 2, 48), rack_table()):
+    print(f"{r:>3} racks ({row.nodes * 16:>7} cores): "
+          f"{row.gflops / 1e3:8.1f} TFLOP/s  ({row.percent_peak:.2f}% of peak)")
+
+# -- Sec. 2 / 5.2: time-to-solution ---------------------------------------------------
+print("\n=== time-to-solution (atom·iteration/s) ===")
+mine = atom_iterations_per_second(50_331_648, 1, 441.0)
+print(f"this reproduction of the paper's headline run: {mine:,.0f}")
+for key in ("hasegawa2011", "oseikuffuor2014"):
+    ref = PRIOR_ART[key]
+    print(f"  vs {ref.label}: {speedup_over(mine, ref):,.0f}x")

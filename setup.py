@@ -1,0 +1,5 @@
+"""Legacy shim so editable installs work offline with older setuptools."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Space-filling-curve adaptive data compression (Sec. 4.2, ref. 65).
+
+Production runs compress atomic coordinates for I/O: atoms are sorted along
+a space-filling curve (Morton or Hilbert), coordinates are quantized to a
+user-chosen precision, and successive curve-neighbors are delta-encoded —
+locality along the curve makes the deltas small, so variable-length coding
+shrinks them.
+"""
+
+from repro.compression.sfc import hilbert_index, morton_index, sfc_sort
+from repro.compression.codec import CompressedFrame, compress_frame, decompress_frame
+
+__all__ = [
+    "morton_index",
+    "hilbert_index",
+    "sfc_sort",
+    "CompressedFrame",
+    "compress_frame",
+    "decompress_frame",
+]

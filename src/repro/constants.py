@@ -1,0 +1,117 @@
+"""Physical constants, unit conversions, and the toy pseudopotential table.
+
+Everything inside :mod:`repro` works in **Hartree atomic units**
+(ħ = m_e = e = 4πε₀ = 1): lengths in Bohr, energies in Hartree, time in
+atomic time units.  The constants below convert to the units the paper
+quotes (eV, femtoseconds, Kelvin).
+
+The per-species pseudopotential parameters are *toy* parameters: smooth
+Gaussian-screened local potentials plus a single Kleinman–Bylander s-channel
+projector.  They are chosen so small plane-wave cutoffs converge, which is
+what a laptop-scale reproduction needs; they are not chemically accurate
+(see DESIGN.md §2 for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# ---------------------------------------------------------------------------
+# Unit conversions
+# ---------------------------------------------------------------------------
+
+HARTREE_TO_EV = 27.211386245988
+"""One Hartree in electron-volts."""
+
+EV_TO_HARTREE = 1.0 / HARTREE_TO_EV
+
+BOHR_TO_ANGSTROM = 0.529177210903
+"""One Bohr radius in Ångström."""
+
+ANGSTROM_TO_BOHR = 1.0 / BOHR_TO_ANGSTROM
+
+ATU_TO_FS = 2.4188843265857e-2
+"""One atomic time unit in femtoseconds."""
+
+FS_TO_ATU = 1.0 / ATU_TO_FS
+
+KELVIN_TO_HARTREE = 3.1668115634556e-6
+"""Boltzmann constant in Hartree per Kelvin (k_B in atomic units)."""
+
+HARTREE_TO_KELVIN = 1.0 / KELVIN_TO_HARTREE
+
+KB_EV = 8.617333262e-5
+"""Boltzmann constant in eV per Kelvin."""
+
+# The paper's production QMD time step (Sec. 6): 0.242 fs.
+PAPER_TIMESTEP_FS = 0.242
+PAPER_TIMESTEP_ATU = PAPER_TIMESTEP_FS * FS_TO_ATU
+
+
+# ---------------------------------------------------------------------------
+# Toy pseudopotential / species table
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Species:
+    """Parameters describing one atomic species in the toy DFT engine.
+
+    Attributes
+    ----------
+    symbol:
+        Chemical symbol.
+    zval:
+        Valence charge (number of valence electrons contributed; the
+        ionic point charge seen by Ewald and the local pseudopotential).
+    rc_loc:
+        Gaussian screening radius (Bohr) of the local pseudopotential
+        ``v_loc(r) = -zval * erf(r / (sqrt(2) rc_loc)) / r``.
+    mass:
+        Atomic mass in atomic mass units (for MD).
+    nl_strength:
+        Kleinman–Bylander nonlocal coefficient D (Hartree).  Zero disables
+        the nonlocal channel for this species.
+    nl_radius:
+        Gaussian radius (Bohr) of the s-channel projector.
+    electronegativity:
+        Pauling-like electronegativity used by the reactive charge model.
+    covalent_radius:
+        Covalent radius (Bohr) used by bond detection / neighbor analysis.
+    """
+
+    symbol: str
+    zval: float
+    rc_loc: float
+    mass: float
+    nl_strength: float = 0.0
+    nl_radius: float = 1.0
+    electronegativity: float = 2.0
+    covalent_radius: float = 1.5
+
+
+#: Registry of toy species.  ``zval`` counts valence electrons only.
+SPECIES: dict[str, Species] = {
+    "H": Species("H", 1.0, 0.50, 1.008, 0.0, 1.0, 2.20, 0.59),
+    "Li": Species("Li", 1.0, 1.10, 6.941, 0.2, 1.2, 0.98, 2.42),
+    "C": Species("C", 4.0, 0.65, 12.011, 0.5, 0.8, 2.55, 1.44),
+    "O": Species("O", 6.0, 0.60, 15.999, 0.6, 0.7, 3.44, 1.25),
+    "Al": Species("Al", 3.0, 1.15, 26.982, 0.4, 1.1, 1.61, 2.29),
+    "Si": Species("Si", 4.0, 1.05, 28.086, 0.5, 1.0, 1.90, 2.10),
+    "Cd": Species("Cd", 2.0, 1.30, 112.414, 0.3, 1.3, 1.69, 2.72),
+    "Se": Species("Se", 6.0, 0.95, 78.971, 0.5, 0.9, 2.55, 2.27),
+}
+
+
+def get_species(symbol: str) -> Species:
+    """Look up a species by symbol, raising a clear error if unknown."""
+    try:
+        return SPECIES[symbol]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise KeyError(
+            f"unknown species {symbol!r}; known: {sorted(SPECIES)}"
+        ) from exc
+
+
+def valence_electrons(symbols) -> float:
+    """Total number of valence electrons for an iterable of symbols."""
+    return float(sum(get_species(s).zval for s in symbols))

@@ -1,0 +1,52 @@
+"""LDC-DFT: the paper's primary contribution (Sec. 3).
+
+* :mod:`repro.core.domains` — the divide-and-conquer spatial decomposition:
+  non-overlapping cores tiling the cell, each extended by a buffer (Fig. 1).
+* :mod:`repro.core.support` — partition-of-unity domain support functions
+  ``p_α`` with ``Σ_α p_α(r) = 1``.
+* :mod:`repro.core.boundary` — the density-adaptive boundary potential
+  ``v_bc = (ρ_α - ρ)/ξ`` (Eq. 2), the "lean" ingredient of LDC-DFT.
+* :mod:`repro.core.ldc` — the global-local SCF driver (Fig. 2) with
+  ``mode="dc"`` (classic divide-and-conquer) and ``mode="ldc"`` switches.
+* :mod:`repro.core.energy` — divide-and-conquer total-energy assembly.
+* :mod:`repro.core.forces` — per-domain Hellmann–Feynman forces.
+* :mod:`repro.core.complexity` — the cost/error model of Sec. 3.1 (Eq. 1,
+  optimal core size ``l* = 2b/(ν-1)``, O(N)↔O(N³) crossover, LDC/DC speedup).
+"""
+
+from repro.core.domains import Domain, DomainDecomposition
+from repro.core.ldc import LDCOptions, LDCResult, run_ldc
+from repro.core.parallel_ldc import ParallelLDCResult, run_parallel_ldc
+from repro.core.dcr import FrontierResult, density_of_states, recombine_frontier
+from repro.core.advisor import ParameterRecommendation, recommend_parameters
+from repro.core.complexity import (
+    buffer_for_tolerance,
+    crossover_length,
+    crossover_natoms,
+    fit_decay_constant,
+    optimal_core_length,
+    speedup_factor,
+    total_cost,
+)
+
+__all__ = [
+    "Domain",
+    "DomainDecomposition",
+    "LDCOptions",
+    "LDCResult",
+    "run_ldc",
+    "ParallelLDCResult",
+    "run_parallel_ldc",
+    "FrontierResult",
+    "recombine_frontier",
+    "density_of_states",
+    "ParameterRecommendation",
+    "recommend_parameters",
+    "buffer_for_tolerance",
+    "crossover_length",
+    "crossover_natoms",
+    "fit_decay_constant",
+    "optimal_core_length",
+    "speedup_factor",
+    "total_cost",
+]

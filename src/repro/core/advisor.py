@@ -1,0 +1,123 @@
+"""Automatic optimization of the DC computational parameters (Sec. 3.1).
+
+The "lean" in LDC-DFT begins with choosing the domain geometry from the
+cost/error model: probe the error decay at a few cheap buffer values, fit
+the nearsightedness decay length λ (Eq. 1), and return the buffer that
+meets a requested tolerance together with the optimal core size l* and the
+predicted cost/speedup — the workflow the paper describes as "optimization
+of DC computational parameters".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.complexity import (
+    buffer_for_tolerance,
+    crossover_natoms,
+    fit_decay_constant,
+    optimal_core_length,
+    speedup_factor,
+    total_cost,
+)
+
+
+@dataclass
+class ParameterRecommendation:
+    """Output of the advisor."""
+
+    decay_length: float
+    error_amplitude: float
+    recommended_buffer: float
+    optimal_core_length: float
+    predicted_error: float
+    cost_relative_to_largest_probe: float
+    crossover_atoms: float | None = None
+
+    def summary(self) -> str:
+        return (
+            f"λ = {self.decay_length:.2f} Bohr, recommend b = "
+            f"{self.recommended_buffer:.2f} Bohr with l* = "
+            f"{self.optimal_core_length:.2f} Bohr "
+            f"(predicted error {self.predicted_error:.2e}/atom)"
+        )
+
+
+def recommend_parameters(
+    probe_buffers: np.ndarray,
+    probe_errors: np.ndarray,
+    tolerance: float,
+    nu: float = 2.0,
+    number_density: float | None = None,
+) -> ParameterRecommendation:
+    """Fit Eq. 1 to probe data and recommend (b, l*) for a tolerance.
+
+    Parameters
+    ----------
+    probe_buffers, probe_errors:
+        Buffer thicknesses (Bohr) and the measured per-atom errors at them
+        (from cheap probe runs against a reference or self-referenced to
+        the largest probe).
+    tolerance:
+        Target per-atom error (the paper's Fig.-7 criterion, e.g. 1e-3).
+    nu:
+        Per-domain solver exponent (2 for the practical regime, 3
+        asymptotic).
+    number_density:
+        Optional atoms/Bohr³ to also report the O(N)↔O(N³) crossover.
+    """
+    probe_buffers = np.asarray(probe_buffers, dtype=float)
+    probe_errors = np.asarray(probe_errors, dtype=float)
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    lam, amp = fit_decay_constant(probe_buffers, probe_errors)
+    b = buffer_for_tolerance(lam, amp, tolerance)
+    b = max(b, float(probe_buffers.min()))
+    l_star = optimal_core_length(b, nu)
+    predicted = amp * np.exp(-b / lam)
+    # cost relative to running at the largest probed buffer (same L)
+    ref_b = float(probe_buffers.max())
+    cost_rel = total_cost(optimal_core_length(ref_b, nu), 100.0, ref_b, nu)
+    cost_here = total_cost(l_star, 100.0, b, nu)
+    return ParameterRecommendation(
+        decay_length=lam,
+        error_amplitude=amp,
+        recommended_buffer=float(b),
+        optimal_core_length=float(l_star),
+        predicted_error=float(predicted),
+        cost_relative_to_largest_probe=float(cost_here / cost_rel),
+        crossover_atoms=(
+            crossover_natoms(b, number_density, nu) if number_density else None
+        ),
+    )
+
+
+def probe_and_recommend(
+    config,
+    reference_energy: float,
+    tolerance: float,
+    probe_buffers=(0.6, 1.2, 1.8),
+    ldc_options=None,
+    nu: float = 2.0,
+):
+    """Run cheap LDC probes at the given buffers and recommend parameters.
+
+    Returns ``(recommendation, probe_errors)``.  The probes reuse the given
+    base options with only the buffer changed.
+    """
+    from dataclasses import replace
+
+    from repro.core.ldc import LDCOptions, run_ldc
+
+    base = ldc_options or LDCOptions()
+    errors = []
+    for b in probe_buffers:
+        r = run_ldc(config, replace(base, buffer=float(b)))
+        errors.append(abs(r.energy - reference_energy) / len(config))
+    rec = recommend_parameters(
+        np.asarray(probe_buffers), np.asarray(errors), tolerance, nu,
+        number_density=len(config) / config.volume,
+    )
+    return rec, np.asarray(errors)

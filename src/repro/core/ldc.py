@@ -1,0 +1,410 @@
+"""The LDC-DFT global-local SCF driver (Fig. 2).
+
+One SCF iteration:
+
+1. **Global**: the Hartree potential of the global density ρ is solved on the
+   global grid (FFT or multigrid — the GSLF split of Sec. 3.2) and combined
+   with v_xc[ρ] and the global local-pseudopotential field.
+2. **Local**: each domain solves its Kohn–Sham eigenproblem on its own small
+   plane-wave basis with periodic boundary conditions, the restricted global
+   potential, its own nonlocal projectors, and — in ``mode="ldc"`` — the
+   density-adaptive boundary potential v_bc = (ρ_α − ρ)/ξ (Eq. 2-3).
+3. **Global**: a single chemical potential μ is found by Newton–Raphson on
+   the electron count over all domain eigenvalues weighted by the partition
+   of unity (Eq. c in Fig. 2); the global density is reassembled as
+   ρ(r) = Σ_α p_α(r) ρ_α(r) (Eq. b) and mixed.
+
+``mode="dc"`` disables the boundary potential, recovering the original
+divide-and-conquer algorithm — the comparison baseline of Fig. 7.
+
+Design choice (documented in DESIGN.md): the *local pseudopotential* field is
+built once globally and restricted to domains, so the buffer controls purely
+the quantum (wave-function confinement) error — the error Eq. 1 models.  The
+nonlocal projectors use the atoms inside each domain (core + buffer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.boundary import PAPER_XI, boundary_error_norm, boundary_potential
+from repro.core.domains import Domain, DomainDecomposition
+from repro.core.energy import (
+    boundary_energy_correction,
+    dc_band_energy,
+    dc_total_energy,
+)
+from repro.core.support import supports
+from repro.dft.basis import PlaneWaveBasis
+from repro.dft.eigensolver import solve_all_band, solve_band_by_band, solve_direct
+from repro.dft.ewald import ewald_energy
+from repro.dft.grid import RealSpaceGrid
+from repro.dft.hamiltonian import Hamiltonian
+from repro.dft.hartree import hartree_potential
+from repro.dft.mixing import LinearMixer, PulayMixer, renormalize
+from repro.dft.occupations import fermi_occupations, find_chemical_potential
+from repro.dft.pseudopotential import NonlocalProjectors, local_potential
+from repro.dft.scf import initial_density
+from repro.dft.xc import lda_xc
+from repro.multigrid.poisson import MultigridPoisson
+from repro.systems.configuration import Configuration
+
+
+@dataclass
+class LDCOptions:
+    """Knobs for the LDC/DC SCF driver."""
+
+    ecut: float = 5.0
+    #: number of DC cores per axis
+    domains: tuple[int, int, int] = (2, 2, 2)
+    #: buffer thickness b in Bohr (realized to whole grid points)
+    buffer: float = 2.5
+    #: "ldc" (density-adaptive boundary potential) or "dc" (classic)
+    mode: str = "ldc"
+    #: response parameter ξ of Eq. 2
+    xi: float = PAPER_XI
+    kt: float = 0.01
+    #: SCF convergence threshold on ∫|Δρ|/N_e
+    tol: float = 1e-5
+    max_iter: int = 40
+    mixer: str = "pulay"
+    mix_alpha: float = 0.4
+    extra_bands: int = 4
+    eigensolver: str = "all_band"
+    eig_tol: float = 1e-6
+    eig_max_iter: int = 30
+    grid_factor: float = 2.0
+    #: global Poisson solver: "fft" | "multigrid" (the GSLF choice)
+    poisson: str = "fft"
+    #: partition of unity: "sharp" | "smooth"
+    support: str = "sharp"
+    #: ionic potential seen by a domain: "domain" (paper-faithful — built
+    #: from the domain's own atoms and their artificial periodic images,
+    #: the error source v_bc corrects) or "global" (the exact global local
+    #: pseudopotential restricted to the domain — a GSLF-enabled variant
+    #: whose only remaining buffer error is wave-function confinement)
+    vion: str = "global"
+    #: where the boundary potential acts: "buffer" (outside the core — the
+    #: artificial boundary's neighborhood) or "full" (whole domain)
+    vbc_region: str = "buffer"
+    #: under-relaxation of v_bc across SCF iterations (1.0 = no damping)
+    vbc_damping: float = 0.5
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("ldc", "dc"):
+            raise ValueError(f"mode must be 'ldc' or 'dc', got {self.mode!r}")
+        if self.poisson not in ("fft", "multigrid"):
+            raise ValueError("poisson must be 'fft' or 'multigrid'")
+        if self.vbc_region not in ("buffer", "full"):
+            raise ValueError("vbc_region must be 'buffer' or 'full'")
+        if self.vion not in ("domain", "global"):
+            raise ValueError("vion must be 'domain' or 'global'")
+        if not 0.0 < self.vbc_damping <= 1.0:
+            raise ValueError("vbc_damping must be in (0, 1]")
+
+
+@dataclass
+class DomainState:
+    """Per-domain solver state carried across SCF iterations."""
+
+    domain: Domain
+    atom_indices: np.ndarray
+    local_config: Configuration
+    basis: PlaneWaveBasis | None
+    vnl: NonlocalProjectors | None
+    support: np.ndarray
+    nband: int
+    v_ion_local: np.ndarray | None = None
+    psi: np.ndarray | None = None
+    eigenvalues: np.ndarray | None = None
+    band_weights: np.ndarray | None = None
+    occupations: np.ndarray | None = None
+    rho_local: np.ndarray | None = None
+    vbc: np.ndarray | None = None
+
+
+@dataclass
+class LDCResult:
+    """Output of :func:`run_ldc`."""
+
+    energy: float
+    components: dict[str, float]
+    mu: float
+    density: np.ndarray
+    grid: RealSpaceGrid
+    decomposition: DomainDecomposition
+    states: list[DomainState]
+    converged: bool
+    iterations: int
+    history: list[float] = field(default_factory=list)
+    density_residuals: list[float] = field(default_factory=list)
+    boundary_errors: list[float] = field(default_factory=list)
+    forces: np.ndarray | None = None
+
+    @property
+    def n_domains(self) -> int:
+        return self.decomposition.ndomains
+
+    def eigenvalue_array(self) -> np.ndarray:
+        return np.concatenate(
+            [s.eigenvalues for s in self.states if s.eigenvalues is not None]
+        )
+
+
+def make_global_grid(
+    config: Configuration, options: LDCOptions
+) -> RealSpaceGrid:
+    """Global grid for the cutoff, rounded up so the domain counts divide it
+    (and kept even for the multigrid hierarchy)."""
+    base = RealSpaceGrid.for_cutoff(config.cell, options.ecut, options.grid_factor)
+    shape = []
+    for n, nd in zip(base.shape, options.domains):
+        step = int(np.lcm(int(nd), 2))
+        shape.append(int(np.ceil(n / step)) * step)
+    return RealSpaceGrid(config.cell, shape)
+
+
+def _prepare_states(
+    config: Configuration,
+    decomp: DomainDecomposition,
+    weights: list[np.ndarray],
+    options: LDCOptions,
+) -> list[DomainState]:
+    states: list[DomainState] = []
+    for dom, w in zip(decomp.domains, weights):
+        idx, local = decomp.atoms_in_domain(config, dom)
+        if len(idx) == 0:
+            states.append(
+                DomainState(dom, idx, local, None, None, w, nband=0)
+            )
+            continue
+        basis = PlaneWaveBasis(dom.grid, options.ecut)
+        vnl = NonlocalProjectors(basis, local)
+        ne_local = local.n_electrons()
+        nband = min(int(np.ceil(ne_local / 2.0)) + options.extra_bands, basis.npw)
+        psi = basis.random_orbitals(nband, seed=options.seed + 131 * len(states))
+        v_ion = (
+            local_potential(dom.grid, local) if options.vion == "domain" else None
+        )
+        states.append(
+            DomainState(
+                dom, idx, local, basis, vnl, w, nband=nband, psi=psi,
+                v_ion_local=v_ion,
+            )
+        )
+    return states
+
+
+def _solve_domain(
+    state: DomainState,
+    v_eff_domain: np.ndarray,
+    options: LDCOptions,
+) -> None:
+    """Solve the domain KS problem in place (updates psi, eigenvalues)."""
+    ham = Hamiltonian(state.basis, v_eff_domain, state.vnl)
+    if options.eigensolver == "direct":
+        res = solve_direct(ham, state.nband)
+    elif options.eigensolver == "all_band":
+        res = solve_all_band(
+            ham, state.psi, max_iter=options.eig_max_iter, tol=options.eig_tol
+        )
+    elif options.eigensolver == "band_by_band":
+        res = solve_band_by_band(ham, state.psi, tol=options.eig_tol)
+    else:
+        raise ValueError(f"unknown eigensolver {options.eigensolver!r}")
+    state.psi = res.orbitals
+    state.eigenvalues = res.eigenvalues
+
+
+def run_ldc(
+    config: Configuration,
+    options: LDCOptions | None = None,
+    compute_forces: bool = False,
+    rho0: np.ndarray | None = None,
+    grid: RealSpaceGrid | None = None,
+) -> LDCResult:
+    """Run the LDC-DFT (or classic DC-DFT) SCF loop to self-consistency."""
+    opts = options or LDCOptions()
+    if grid is None:
+        grid = make_global_grid(config, opts)
+    decomp = DomainDecomposition(grid, opts.domains, opts.buffer)
+    pou = supports(decomp, opts.support)
+    states = _prepare_states(config, decomp, pou, opts)
+
+    n_electrons = config.n_electrons()
+    v_loc_global = local_potential(grid, config)
+    e_ewald = ewald_energy(config.wrapped_positions(), config.zvals, config.cell)
+
+    rho = initial_density(grid, config) if rho0 is None else rho0.copy()
+    rho = renormalize(rho, n_electrons, grid.dv)
+
+    mg = MultigridPoisson(grid) if opts.poisson == "multigrid" else None
+    vh_prev: np.ndarray | None = None
+
+    if opts.mixer == "pulay":
+        mixer = PulayMixer(alpha=opts.mix_alpha)
+    elif opts.mixer == "linear":
+        mixer = LinearMixer(alpha=opts.mix_alpha)
+    else:
+        raise ValueError(f"unknown mixer {opts.mixer!r}")
+
+    history: list[float] = []
+    residuals: list[float] = []
+    boundary_errors: list[float] = []
+    converged = False
+    it = 0
+    mu = 0.0
+    components: dict[str, float] = {}
+
+    xi = opts.xi if opts.mode == "ldc" else None
+
+    for it in range(1, opts.max_iter + 1):
+        mu, rho_out, components, bnd_err = _scf_pass(
+            grid, states, rho, v_loc_global, e_ewald, n_electrons,
+            xi, mg, vh_prev, opts,
+        )
+        vh_prev = components.pop("_vh_field")  # reuse as warm start
+        boundary_errors.append(bnd_err)
+        rho_out = renormalize(np.clip(rho_out, 0.0, None), n_electrons, grid.dv)
+        resid = grid.integrate(np.abs(rho_out - rho)) / max(n_electrons, 1.0)
+        residuals.append(resid)
+        history.append(components["total"])
+        if resid < opts.tol:
+            rho = rho_out
+            converged = True
+            break
+        rho = renormalize(
+            np.clip(mixer.mix(rho, rho_out), 0.0, None), n_electrons, grid.dv
+        )
+
+    # Final consistent evaluation at the converged density.
+    mu, rho_final, components, bnd_err = _scf_pass(
+        grid, states, rho, v_loc_global, e_ewald, n_electrons,
+        xi, mg, vh_prev, opts,
+    )
+    components.pop("_vh_field")
+    rho_final = renormalize(np.clip(rho_final, 0.0, None), n_electrons, grid.dv)
+
+    result = LDCResult(
+        energy=components["total"],
+        components=components,
+        mu=mu,
+        density=rho_final,
+        grid=grid,
+        decomposition=decomp,
+        states=states,
+        converged=converged,
+        iterations=it,
+        history=history,
+        density_residuals=residuals,
+        boundary_errors=boundary_errors,
+    )
+    if compute_forces:
+        from repro.core.forces import ldc_forces
+
+        result.forces = ldc_forces(config, result)
+    return result
+
+
+def _scf_pass(
+    grid: RealSpaceGrid,
+    states: list[DomainState],
+    rho: np.ndarray,
+    v_loc_global: np.ndarray,
+    e_ewald: float,
+    n_electrons: float,
+    xi: float | None,
+    mg: MultigridPoisson | None,
+    vh_warm: np.ndarray | None,
+    opts: LDCOptions,
+) -> tuple[float, np.ndarray, dict[str, float], float]:
+    """One global-local pass: potentials → domain solves → μ → density.
+
+    Returns (μ, assembled density, energy components + '_vh_field', mean
+    boundary-density error).
+    """
+    if mg is not None:
+        vh = mg.solve(rho, v0=vh_warm, tol=1e-8)
+    else:
+        vh = hartree_potential(grid, rho)
+    _, vxc = lda_xc(rho)
+    v_hxc_global = vh + vxc
+    v_ks_global = v_loc_global + v_hxc_global
+
+    all_eigs: list[np.ndarray] = []
+    all_weights: list[np.ndarray] = []
+    bnd_err_total = 0.0
+    n_active = 0
+
+    for state in states:
+        if state.nband == 0:
+            continue
+        dom = state.domain
+        if state.v_ion_local is not None:
+            v_dom = dom.extract(v_hxc_global) + state.v_ion_local
+        else:
+            v_dom = dom.extract(v_ks_global)
+        rho_restricted = dom.extract(rho)
+        vbc_target = boundary_potential(state.rho_local, rho_restricted, xi)
+        if opts.vbc_region == "buffer":
+            # act only near the artificial boundary, not inside the core
+            vbc_target = vbc_target * (1.0 - state.support)
+        if state.vbc is None:
+            state.vbc = opts.vbc_damping * vbc_target
+        else:
+            state.vbc = (
+                1.0 - opts.vbc_damping
+            ) * state.vbc + opts.vbc_damping * vbc_target
+        _solve_domain(state, v_dom + state.vbc, opts)
+
+        fields = state.basis.to_grid(state.psi)  # (nband, *domain shape)
+        densities = np.abs(fields) ** 2  # per-band |ψ|²(r)
+        # band weights w_αn = ∫ p_α |ψ_n|² dr
+        w = np.einsum("nijk,ijk->n", densities, state.support) * dom.grid.dv
+        state.band_weights = w
+        state._band_densities = densities  # stashed for the density step
+        all_eigs.append(state.eigenvalues)
+        all_weights.append(w)
+        if state.rho_local is not None:
+            bnd_err_total += boundary_error_norm(
+                state.rho_local, rho_restricted, dom.grid.dv
+            )
+            n_active += 1
+
+    eigs_cat = np.concatenate(all_eigs)
+    w_cat = np.concatenate(all_weights)
+    mu = find_chemical_potential(eigs_cat, n_electrons, opts.kt, weights=w_cat)
+
+    rho_new = np.zeros(grid.shape)
+    rho_locals: list[np.ndarray] = []
+    vbcs: list[np.ndarray] = []
+    sup_list: list[np.ndarray] = []
+    for state in states:
+        if state.nband == 0:
+            continue
+        occs = fermi_occupations(state.eigenvalues, mu, opts.kt)
+        state.occupations = occs
+        rho_a = np.einsum("n,nijk->ijk", occs, state._band_densities)
+        state.rho_local = rho_a
+        del state._band_densities
+        ix, iy, iz = state.domain.grid_indices
+        np.add.at(rho_new, np.ix_(ix, iy, iz), state.support * rho_a)
+        rho_locals.append(rho_a)
+        vbcs.append(state.vbc)
+        sup_list.append(state.support)
+
+    band_e = dc_band_energy(
+        [s.eigenvalues for s in states if s.nband],
+        [s.occupations for s in states if s.nband],
+        [s.band_weights for s in states if s.nband],
+    )
+    vbc_corr = boundary_energy_correction(sup_list, vbcs, rho_locals, grid.dv)
+    components = dc_total_energy(
+        grid, rho, vh, vxc, band_e, vbc_corr, e_ewald, eigs_cat, w_cat, mu, opts.kt
+    )
+    components["_vh_field"] = vh
+    mean_err = bnd_err_total / n_active if n_active else 0.0
+    return mu, rho_new, components, mean_err

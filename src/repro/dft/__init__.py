@@ -1,0 +1,38 @@
+"""Plane-wave Kohn–Sham DFT substrate (the "locally fast" half of GSLF).
+
+A self-contained, NumPy-vectorized plane-wave DFT engine:
+
+* :mod:`repro.dft.grid` — real/reciprocal-space grids and FFT conventions.
+* :mod:`repro.dft.basis` — kinetic-energy-cutoff plane-wave basis.
+* :mod:`repro.dft.xc` — LDA exchange-correlation (Perdew–Zunger 1981).
+* :mod:`repro.dft.hartree` — reciprocal-space Poisson solve.
+* :mod:`repro.dft.ewald` — ion-ion Ewald sums (energy and forces).
+* :mod:`repro.dft.pseudopotential` — Gaussian-screened local potentials and
+  Kleinman–Bylander separable nonlocal projectors.
+* :mod:`repro.dft.hamiltonian` — BLAS3 all-band Hamiltonian application and
+  dense matrix construction.
+* :mod:`repro.dft.occupations` — Fermi–Dirac occupations, Newton–Raphson μ.
+* :mod:`repro.dft.mixing` — linear and Pulay density mixing.
+* :mod:`repro.dft.eigensolver` — direct, band-by-band CG (BLAS2 path) and
+  all-band/block CG (BLAS3 path) eigensolvers.
+* :mod:`repro.dft.scf` — the conventional O(N³) SCF driver (the paper's
+  verification baseline, Sec. 5.5).
+* :mod:`repro.dft.forces` — Hellmann–Feynman forces.
+"""
+
+from repro.dft.grid import RealSpaceGrid
+from repro.dft.basis import PlaneWaveBasis, density_from_orbitals
+from repro.dft.hamiltonian import Hamiltonian
+from repro.dft.scf import SCFOptions, SCFResult, run_scf
+from repro.dft.forces import hellmann_feynman_forces
+
+__all__ = [
+    "RealSpaceGrid",
+    "PlaneWaveBasis",
+    "density_from_orbitals",
+    "Hamiltonian",
+    "SCFOptions",
+    "SCFResult",
+    "run_scf",
+    "hellmann_feynman_forces",
+]

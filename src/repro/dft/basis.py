@@ -1,0 +1,110 @@
+"""Plane-wave basis restricted by a kinetic-energy cutoff.
+
+Wave functions are expanded as ``ψ(r) = (1/√Ω) Σ_G c_G e^{iG·r}`` over the
+plane waves with ``|G|²/2 ≤ E_cut``.  With this normalization a unit-norm
+coefficient vector is a normalized orbital, and transforms to/from the real
+grid are single (batched) FFTs — the "locally fast" half of the paper's GSLF
+solver.
+
+Orbitals are stored column-wise: ``psi`` has shape ``(npw, nband)``, so the
+all-band operations of Sec. 3.4 are plain matrix-matrix products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dft.grid import RealSpaceGrid
+
+
+class PlaneWaveBasis:
+    """The set of plane waves with kinetic energy ≤ ``ecut`` on a grid."""
+
+    def __init__(self, grid: RealSpaceGrid, ecut: float) -> None:
+        if ecut <= 0:
+            raise ValueError("ecut must be positive")
+        self.grid = grid
+        self.ecut = float(ecut)
+        g2 = grid.g2()
+        mask = 0.5 * g2 <= self.ecut
+        #: flat indices into the FFT grid for each basis plane wave
+        self.indices = np.flatnonzero(mask.ravel())
+        #: number of plane waves
+        self.npw = int(self.indices.size)
+        if self.npw < 2:
+            raise ValueError(
+                f"cutoff {ecut} yields only {self.npw} plane waves on grid "
+                f"{grid.shape}; increase ecut or grid"
+            )
+        #: |G|² per basis function, shape (npw,)
+        self.g2 = g2.ravel()[self.indices]
+        #: G vectors per basis function, shape (npw, 3)
+        self.g_vectors = grid.g_vectors().reshape(-1, 3)[self.indices]
+        #: integer Miller indices per basis function, shape (npw, 3)
+        mx, my, mz = grid.miller()
+        miller = np.stack(
+            np.meshgrid(mx, my, mz, indexing="ij"), axis=-1
+        ).reshape(-1, 3)
+        self.miller = miller[self.indices]
+        self._norm_to_grid = grid.npoints / np.sqrt(grid.volume)
+        self._norm_from_grid = np.sqrt(grid.volume) / grid.npoints
+
+    # -- transforms ----------------------------------------------------------
+
+    def to_grid(self, coeffs: np.ndarray) -> np.ndarray:
+        """Coefficients → real-space orbital(s).
+
+        ``coeffs`` is ``(npw,)`` or ``(npw, nband)``; returns an array of
+        shape ``grid.shape`` or ``(nband, *grid.shape)`` (complex).
+        """
+        coeffs = np.asarray(coeffs)
+        single = coeffs.ndim == 1
+        if single:
+            coeffs = coeffs[:, None]
+        nband = coeffs.shape[1]
+        buf = np.zeros((nband, self.grid.npoints), dtype=complex)
+        buf[:, self.indices] = coeffs.T
+        fields = np.fft.ifftn(
+            buf.reshape((nband,) + self.grid.shape), axes=(1, 2, 3)
+        ) * self._norm_to_grid
+        return fields[0] if single else fields
+
+    def from_grid(self, fields: np.ndarray) -> np.ndarray:
+        """Real-space orbital(s) → coefficients (adjoint of :meth:`to_grid`)."""
+        fields = np.asarray(fields, dtype=complex)
+        single = fields.ndim == 3
+        if single:
+            fields = fields[None]
+        spectra = np.fft.fftn(fields, axes=(1, 2, 3)) * self._norm_from_grid
+        coeffs = spectra.reshape(fields.shape[0], -1)[:, self.indices].T
+        return coeffs[:, 0] if single else coeffs
+
+    # -- initial guesses -----------------------------------------------------
+
+    def random_orbitals(self, nband: int, seed: int = 0) -> np.ndarray:
+        """Random orthonormal starting orbitals, low-G biased for fast CG."""
+        rng = np.random.default_rng(seed)
+        raw = rng.normal(size=(self.npw, nband)) + 1j * rng.normal(
+            size=(self.npw, nband)
+        )
+        # Damp high-frequency components so the guess lives mostly in the
+        # low-energy subspace — dramatically improves solver robustness.
+        damp = 1.0 / (1.0 + self.g2)
+        raw *= damp[:, None]
+        q, _ = np.linalg.qr(raw)
+        return q[:, :nband]
+
+
+def density_from_orbitals(
+    basis: PlaneWaveBasis, psi: np.ndarray, occupations: np.ndarray
+) -> np.ndarray:
+    """Electron density ``ρ(r) = Σ_n f_n |ψ_n(r)|²`` on the real grid.
+
+    Normalization: ``∫ ρ dr = Σ_n f_n`` when the orbitals are orthonormal.
+    """
+    occupations = np.asarray(occupations, dtype=float)
+    if psi.shape[1] != occupations.size:
+        raise ValueError("one occupation per band required")
+    fields = basis.to_grid(psi)  # (nband, *shape)
+    rho = np.einsum("n,nijk->ijk", occupations, np.abs(fields) ** 2)
+    return rho

@@ -1,0 +1,106 @@
+"""The Kohn–Sham Hamiltonian: batched (all-band, BLAS3) application and a
+dense matrix form for the direct reference eigensolver.
+
+    H = -½∇² + V_loc + V_H + V_xc [+ v_bc]  + v_nl
+
+The local parts are collapsed into one real-space effective potential
+``v_eff(r)``; the nonlocal part is the packed projector form of Sec. 3.4.
+``apply`` acts on the whole ``(npw, nband)`` orbital block at once — the
+paper's BLAS2→BLAS3 algebraic transformation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dft.basis import PlaneWaveBasis
+from repro.dft.pseudopotential import NonlocalProjectors
+
+
+class Hamiltonian:
+    """Fixed-potential KS Hamiltonian over a plane-wave basis."""
+
+    def __init__(
+        self,
+        basis: PlaneWaveBasis,
+        v_eff: np.ndarray,
+        vnl: NonlocalProjectors | None = None,
+    ) -> None:
+        if v_eff.shape != basis.grid.shape:
+            raise ValueError(
+                f"v_eff shape {v_eff.shape} != grid shape {basis.grid.shape}"
+            )
+        self.basis = basis
+        self.v_eff = np.asarray(v_eff, dtype=float)
+        self.vnl = vnl
+        self.kinetic = 0.5 * basis.g2  # (npw,)
+
+    # -- application ----------------------------------------------------------
+
+    def apply(self, psi: np.ndarray) -> np.ndarray:
+        """H Ψ for a block of orbitals ``(npw, nband)`` (or a single vector)."""
+        single = psi.ndim == 1
+        if single:
+            psi = psi[:, None]
+        out = self.kinetic[:, None] * psi
+        # local potential: to grid (batched FFT), multiply, back
+        fields = self.basis.to_grid(psi)
+        fields *= self.v_eff[None, :, :, :]
+        out = out + self.basis.from_grid(fields)
+        if self.vnl is not None and self.vnl.nproj:
+            out = out + self.vnl.apply(psi)
+        return out[:, 0] if single else out
+
+    def expectation(self, psi: np.ndarray) -> np.ndarray:
+        """Per-band Rayleigh quotients ⟨ψ_n|H|ψ_n⟩ / ⟨ψ_n|ψ_n⟩."""
+        hpsi = self.apply(psi)
+        num = np.real(np.einsum("gn,gn->n", psi.conj(), hpsi))
+        den = np.real(np.einsum("gn,gn->n", psi.conj(), psi))
+        return num / den
+
+    # -- dense form -----------------------------------------------------------
+
+    def dense(self) -> np.ndarray:
+        """The full npw×npw Hermitian matrix (reference solver; small bases)."""
+        basis = self.basis
+        grid = basis.grid
+        npw = basis.npw
+        # Local part: V(G_i - G_j) from the FFT of v_eff, indexed by the
+        # wrapped Miller-index differences.
+        vg = grid.fft(self.v_eff.astype(complex))
+        shape = np.array(grid.shape)
+        diff = basis.miller[:, None, :] - basis.miller[None, :, :]  # (npw,npw,3)
+        diff = np.mod(diff, shape[None, None, :])
+        flat = (
+            diff[..., 0] * (shape[1] * shape[2])
+            + diff[..., 1] * shape[2]
+            + diff[..., 2]
+        )
+        h = vg.ravel()[flat]
+        h[np.arange(npw), np.arange(npw)] += self.kinetic
+        if self.vnl is not None and self.vnl.nproj:
+            h = h + self.vnl.dense()
+        return h
+
+    # -- preconditioning -------------------------------------------------------
+
+    def precondition(self, resid: np.ndarray, psi: np.ndarray) -> np.ndarray:
+        """Teter–Payne–Allan preconditioner applied band-wise to residuals.
+
+        The TPA kernel damps high-kinetic-energy components relative to each
+        band's own kinetic energy — the standard plane-wave CG preconditioner.
+        """
+        single = resid.ndim == 1
+        if single:
+            resid = resid[:, None]
+            psi = psi[:, None]
+        ekin = np.real(
+            np.einsum("gn,g,gn->n", psi.conj(), self.kinetic, psi)
+        ) / np.maximum(np.real(np.einsum("gn,gn->n", psi.conj(), psi)), 1e-30)
+        ekin = np.maximum(ekin, 1e-6)
+        x = self.kinetic[:, None] / ekin[None, :]
+        x2 = x * x
+        x3 = x2 * x
+        num = 27.0 + 18.0 * x + 12.0 * x2 + 8.0 * x3
+        out = (num / (num + 16.0 * x3 * x)) * resid
+        return out[:, 0] if single else out

@@ -1,0 +1,97 @@
+"""Density mixing for the self-consistent field iteration.
+
+Two schemes, sharing one interface (``mix(rho_in, rho_out) -> rho_next``):
+
+* :class:`LinearMixer` — simple damping, unconditionally convergent for
+  small enough mixing parameter.
+* :class:`PulayMixer` — Pulay/DIIS extrapolation over a history of residuals;
+  the production choice (much faster near self-consistency).
+
+Both preserve the total electron number exactly (the residual integrates to
+zero up to solver error, and we renormalize defensively).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LinearMixer:
+    """ρ_next = ρ_in + α (ρ_out - ρ_in)."""
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+
+    def reset(self) -> None:  # interface parity with PulayMixer
+        pass
+
+    def mix(self, rho_in: np.ndarray, rho_out: np.ndarray) -> np.ndarray:
+        return rho_in + self.alpha * (rho_out - rho_in)
+
+
+class PulayMixer:
+    """Pulay (DIIS) mixing over a sliding history window.
+
+    Finds coefficients c minimizing |Σ c_i R_i|² with Σ c_i = 1, where
+    ``R_i = ρ_out,i - ρ_in,i``, then returns
+    ``Σ c_i (ρ_in,i + α R_i)``.
+    """
+
+    def __init__(self, alpha: float = 0.3, history: int = 6) -> None:
+        if history < 2:
+            raise ValueError("history must be >= 2")
+        self.alpha = alpha
+        self.history = history
+        self._inputs: list[np.ndarray] = []
+        self._residuals: list[np.ndarray] = []
+
+    def reset(self) -> None:
+        self._inputs.clear()
+        self._residuals.clear()
+
+    def mix(self, rho_in: np.ndarray, rho_out: np.ndarray) -> np.ndarray:
+        resid = rho_out - rho_in
+        self._inputs.append(rho_in.copy())
+        self._residuals.append(resid.copy())
+        if len(self._inputs) > self.history:
+            self._inputs.pop(0)
+            self._residuals.pop(0)
+        m = len(self._residuals)
+        if m == 1:
+            return rho_in + self.alpha * resid
+
+        # Solve the DIIS normal equations with the Lagrange constraint.
+        b = np.empty((m + 1, m + 1))
+        for i in range(m):
+            for j in range(i, m):
+                b[i, j] = b[j, i] = float(
+                    np.vdot(self._residuals[i].ravel(), self._residuals[j].ravel()).real
+                )
+        b[m, :m] = 1.0
+        b[:m, m] = 1.0
+        b[m, m] = 0.0
+        rhs = np.zeros(m + 1)
+        rhs[m] = 1.0
+        try:
+            coeffs = np.linalg.solve(b, rhs)[:m]
+        except np.linalg.LinAlgError:
+            self.reset()
+            return rho_in + self.alpha * resid
+        if not np.all(np.isfinite(coeffs)):
+            self.reset()
+            return rho_in + self.alpha * resid
+
+        rho_next = np.zeros_like(rho_in)
+        for c, rin, r in zip(coeffs, self._inputs, self._residuals):
+            rho_next += c * (rin + self.alpha * r)
+        return rho_next
+
+
+def renormalize(rho: np.ndarray, n_electrons: float, dv: float) -> np.ndarray:
+    """Scale a density so it integrates exactly to ``n_electrons``."""
+    total = float(np.sum(rho) * dv)
+    if total <= 0:
+        raise ValueError("density integrates to a non-positive number")
+    return rho * (n_electrons / total)

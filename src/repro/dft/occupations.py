@@ -1,0 +1,131 @@
+"""Fermi–Dirac occupations and the chemical potential μ.
+
+μ is the single *global* scalar shared by all DC domains (Fig. 2, Eq. c):
+it is determined from the total valence-electron count
+
+    N = Σ_i w_i f((ε_i - μ)/k_B T),      f(x) = 2/(1 + e^x)   (spin factor 2)
+
+by Newton–Raphson with a bisection safeguard — exactly the paper's recipe.
+The weights ``w_i`` are 1 for a conventional calculation and the
+partition-of-unity band weights ``∫ p_α |ψ_n^α|²`` for DC/LDC assemblies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Occupations below this are clamped to zero (and 2-this to 2).
+_CLIP = 1e-30
+
+
+def fermi_occupations(
+    eigenvalues: np.ndarray, mu: float, kt: float
+) -> np.ndarray:
+    """Spin-degenerate Fermi–Dirac occupations f_n ∈ [0, 2]."""
+    eigenvalues = np.asarray(eigenvalues, dtype=float)
+    if kt <= 0:
+        return np.where(eigenvalues <= mu, 2.0, 0.0)
+    x = np.clip((eigenvalues - mu) / kt, -500.0, 500.0)
+    return 2.0 / (1.0 + np.exp(x))
+
+
+def occupation_derivative(
+    eigenvalues: np.ndarray, mu: float, kt: float
+) -> np.ndarray:
+    """∂f/∂μ (positive)."""
+    if kt <= 0:
+        return np.zeros_like(np.asarray(eigenvalues, dtype=float))
+    x = (np.asarray(eigenvalues, dtype=float) - mu) / kt
+    # overflow-safe: e^x/(1+e^x)² = e^{-|x|}/(1+e^{-|x|})²
+    ax = np.minimum(np.abs(x), 500.0)
+    em = np.exp(-ax)
+    return 2.0 * em / (kt * (1.0 + em) ** 2)
+
+
+def find_chemical_potential(
+    eigenvalues: np.ndarray,
+    n_electrons: float,
+    kt: float,
+    weights: np.ndarray | None = None,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Solve Σ w_i f(ε_i; μ) = N for μ (Newton–Raphson + bisection fallback).
+
+    Parameters
+    ----------
+    eigenvalues:
+        Flat array of (possibly domain-concatenated) KS eigenvalues.
+    n_electrons:
+        Target electron count N.
+    kt:
+        Smearing temperature in Hartree.  ``kt = 0`` falls back to filling
+        the lowest states (degenerate-safe midpoint μ).
+    weights:
+        Optional per-eigenvalue weights w_i ≥ 0 (DC band weights).
+    """
+    eigenvalues = np.asarray(eigenvalues, dtype=float).ravel()
+    if eigenvalues.size == 0:
+        raise ValueError("no eigenvalues supplied")
+    w = np.ones_like(eigenvalues) if weights is None else np.asarray(weights, float).ravel()
+    if w.shape != eigenvalues.shape:
+        raise ValueError("weights must match eigenvalues")
+    capacity = 2.0 * float(np.sum(w))
+    if not 0.0 <= n_electrons <= capacity + 1e-9:
+        raise ValueError(
+            f"cannot place {n_electrons} electrons in states holding {capacity}"
+        )
+
+    if kt <= 0:
+        return _zero_temperature_mu(eigenvalues, w, n_electrons)
+
+    def count(mu: float) -> float:
+        return float(np.sum(w * fermi_occupations(eigenvalues, mu, kt)))
+
+    lo = float(eigenvalues.min()) - 20.0 * kt - 1.0
+    hi = float(eigenvalues.max()) + 20.0 * kt + 1.0
+    mu = 0.5 * (lo + hi)
+    for _ in range(max_iter):
+        c = count(mu)
+        err = c - n_electrons
+        if abs(err) < tol:
+            return mu
+        if err > 0:
+            hi = min(hi, mu)
+        else:
+            lo = max(lo, mu)
+        deriv = float(np.sum(w * occupation_derivative(eigenvalues, mu, kt)))
+        if deriv > _CLIP:
+            step = mu - err / deriv
+            mu = step if lo < step < hi else 0.5 * (lo + hi)
+        else:
+            mu = 0.5 * (lo + hi)
+    return mu
+
+
+def _zero_temperature_mu(
+    eigenvalues: np.ndarray, weights: np.ndarray, n_electrons: float
+) -> float:
+    order = np.argsort(eigenvalues)
+    cum = np.cumsum(2.0 * weights[order])
+    idx = int(np.searchsorted(cum, n_electrons - 1e-12))
+    idx = min(idx, len(order) - 1)
+    e_homo = eigenvalues[order[idx]]
+    if idx + 1 < len(order):
+        return 0.5 * (e_homo + eigenvalues[order[idx + 1]])
+    return e_homo + 1e-6
+
+
+def smearing_entropy(
+    eigenvalues: np.ndarray, mu: float, kt: float, weights: np.ndarray | None = None
+) -> float:
+    """Electronic entropy S (in units of k_B·Hartree⁻¹ aggregate: returns
+    the -TS free-energy correction term's S such that F = E - kt*S)."""
+    if kt <= 0:
+        return 0.0
+    f = fermi_occupations(eigenvalues, mu, kt) / 2.0  # per-spin filling
+    f = np.clip(f, 1e-15, 1.0 - 1e-15)
+    s = -2.0 * (f * np.log(f) + (1.0 - f) * np.log(1.0 - f))
+    if weights is not None:
+        s = s * np.asarray(weights, dtype=float)
+    return float(np.sum(s))

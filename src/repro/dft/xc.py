@@ -1,0 +1,89 @@
+"""LDA exchange-correlation: Perdew–Zunger 1981 parametrization of the
+Ceperley–Alder electron-gas data (non-spin-polarized).
+
+Returns both the energy density per electron ε_xc(ρ) and the potential
+v_xc = d(ρ ε_xc)/dρ.  All quantities in Hartree atomic units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Slater exchange constant: ε_x = -Cx ρ^{1/3}
+_CX = 0.75 * (3.0 / np.pi) ** (1.0 / 3.0)
+
+# PZ81 correlation parameters (unpolarized)
+_GAMMA = -0.1423
+_BETA1 = 1.0529
+_BETA2 = 0.3334
+_A = 0.0311
+_B = -0.048
+_C = 0.0020
+_D = -0.0116
+
+#: densities below this are treated as vacuum (ε = v = 0)
+RHO_FLOOR = 1e-12
+
+
+def lda_exchange(rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Slater exchange: returns (ε_x, v_x) arrays matching ``rho``."""
+    rho = np.asarray(rho, dtype=float)
+    safe = np.maximum(rho, RHO_FLOOR)
+    eps = -_CX * np.cbrt(safe)
+    vx = (4.0 / 3.0) * eps
+    zero = rho < RHO_FLOOR
+    eps = np.where(zero, 0.0, eps)
+    vx = np.where(zero, 0.0, vx)
+    return eps, vx
+
+
+def lda_correlation(rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """PZ81 correlation: returns (ε_c, v_c) arrays matching ``rho``."""
+    rho = np.asarray(rho, dtype=float)
+    safe = np.maximum(rho, RHO_FLOOR)
+    rs = np.cbrt(3.0 / (4.0 * np.pi * safe))
+    eps = np.empty_like(safe)
+    vc = np.empty_like(safe)
+
+    low = rs >= 1.0  # low density branch
+    sq = np.sqrt(rs[low])
+    denom = 1.0 + _BETA1 * sq + _BETA2 * rs[low]
+    eps_low = _GAMMA / denom
+    eps[low] = eps_low
+    vc[low] = eps_low * (
+        1.0 + (7.0 / 6.0) * _BETA1 * sq + (4.0 / 3.0) * _BETA2 * rs[low]
+    ) / denom
+
+    high = ~low  # high density branch
+    ln = np.log(rs[high])
+    eps[high] = _A * ln + _B + _C * rs[high] * ln + _D * rs[high]
+    vc[high] = (
+        _A * ln
+        + (_B - _A / 3.0)
+        + (2.0 / 3.0) * _C * rs[high] * ln
+        + ((2.0 * _D - _C) / 3.0) * rs[high]
+    )
+
+    zero = rho < RHO_FLOOR
+    eps = np.where(zero, 0.0, eps)
+    vc = np.where(zero, 0.0, vc)
+    return eps, vc
+
+
+def lda_xc(rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Combined LDA: returns (ε_xc, v_xc)."""
+    ex, vx = lda_exchange(rho)
+    ec, vc = lda_correlation(rho)
+    return ex + ec, vx + vc
+
+
+def xc_energy(rho: np.ndarray, dv: float) -> float:
+    """E_xc = ∫ ρ ε_xc(ρ) dr with voxel volume ``dv``."""
+    eps, _ = lda_xc(rho)
+    return float(np.sum(rho * eps) * dv)
+
+
+def xc_potential(rho: np.ndarray) -> np.ndarray:
+    """v_xc(r) alone (convenience wrapper)."""
+    _, v = lda_xc(rho)
+    return v

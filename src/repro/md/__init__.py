@@ -1,0 +1,33 @@
+"""Molecular dynamics substrate: integrators, thermostats, neighbor lists,
+and the QMD driver that couples MD to a quantum (or surrogate) force engine.
+"""
+
+from repro.md.integrator import VelocityVerlet, kinetic_energy, temperature
+from repro.md.thermostat import BerendsenThermostat, LangevinThermostat
+from repro.md.neighbors import NeighborList
+from repro.md.qmd import QMDDriver, QMDFrame, LDCEngine, SCFEngine
+from repro.md.observables import (
+    coordination_number,
+    diffusion_constant,
+    mean_square_displacement,
+    radial_distribution,
+    velocity_autocorrelation,
+)
+
+__all__ = [
+    "VelocityVerlet",
+    "kinetic_energy",
+    "temperature",
+    "BerendsenThermostat",
+    "LangevinThermostat",
+    "NeighborList",
+    "QMDDriver",
+    "QMDFrame",
+    "LDCEngine",
+    "SCFEngine",
+    "radial_distribution",
+    "mean_square_displacement",
+    "diffusion_constant",
+    "velocity_autocorrelation",
+    "coordination_number",
+]

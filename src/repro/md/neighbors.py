@@ -1,0 +1,100 @@
+"""Linked-cell neighbor lists (O(N) construction) for the reactive substrate.
+
+The cell is binned into boxes at least ``cutoff`` wide; candidate pairs come
+only from the 27 neighboring boxes.  Falls back to the O(N²) all-pairs path
+when the box is too small for 3 bins per axis (tiny test systems).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.systems.configuration import Configuration
+
+
+class NeighborList:
+    """Half neighbor list (each pair appears once, i < j)."""
+
+    def __init__(self, cutoff: float, skin: float = 0.0) -> None:
+        if cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        self.cutoff = float(cutoff)
+        self.skin = float(skin)
+
+    def build(self, config: Configuration) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(pairs, displacements, distances)``.
+
+        ``pairs``: (npair, 2) int array with i < j;
+        ``displacements``: minimum-image r_j − r_i;
+        ``distances``: |displacements|.
+        """
+        rc = self.cutoff + self.skin
+        cell = config.cell
+        nbins = np.maximum(1, np.floor(cell / rc).astype(int))
+        if np.any(nbins < 3) or config.natoms < 32:
+            return self._all_pairs(config, rc)
+        return self._linked_cells(config, rc, nbins)
+
+    # -- strategies ---------------------------------------------------------------
+
+    def _all_pairs(self, config, rc):
+        pos = config.wrapped_positions()
+        diff = pos[None, :, :] - pos[:, None, :]
+        diff -= config.cell * np.round(diff / config.cell)
+        dist = np.linalg.norm(diff, axis=-1)
+        iu, ju = np.triu_indices(config.natoms, k=1)
+        mask = dist[iu, ju] <= rc
+        pairs = np.column_stack([iu[mask], ju[mask]])
+        return pairs, diff[iu[mask], ju[mask]], dist[iu[mask], ju[mask]]
+
+    def _linked_cells(self, config, rc, nbins):
+        pos = config.wrapped_positions()
+        bin_size = config.cell / nbins
+        bins = np.minimum((pos / bin_size).astype(int), nbins - 1)
+        flat = (bins[:, 0] * nbins[1] + bins[:, 1]) * nbins[2] + bins[:, 2]
+        order = np.argsort(flat, kind="stable")
+        sorted_flat = flat[order]
+        starts = np.searchsorted(sorted_flat, np.arange(np.prod(nbins)))
+        ends = np.searchsorted(sorted_flat, np.arange(np.prod(nbins)), side="right")
+
+        offsets = np.array(
+            [(i, j, k) for i in (-1, 0, 1) for j in (-1, 0, 1) for k in (-1, 0, 1)]
+        )
+        pair_list: list[np.ndarray] = []
+        for bx in range(nbins[0]):
+            for by in range(nbins[1]):
+                for bz in range(nbins[2]):
+                    b = (bx * nbins[1] + by) * nbins[2] + bz
+                    atoms_b = order[starts[b] : ends[b]]
+                    if len(atoms_b) == 0:
+                        continue
+                    neigh_atoms = []
+                    for off in offsets:
+                        nb_idx = (np.array([bx, by, bz]) + off) % nbins
+                        nb = (nb_idx[0] * nbins[1] + nb_idx[1]) * nbins[2] + nb_idx[2]
+                        neigh_atoms.append(order[starts[nb] : ends[nb]])
+                    cand = np.concatenate(neigh_atoms)
+                    for i in atoms_b:
+                        js = cand[cand > i]
+                        if len(js) == 0:
+                            continue
+                        d = pos[js] - pos[i]
+                        d -= config.cell * np.round(d / config.cell)
+                        r = np.linalg.norm(d, axis=1)
+                        keep = r <= rc
+                        if keep.any():
+                            pair_list.append(
+                                np.column_stack(
+                                    [np.full(keep.sum(), i), js[keep]]
+                                )
+                            )
+        if not pair_list:
+            return (
+                np.zeros((0, 2), dtype=int),
+                np.zeros((0, 3)),
+                np.zeros(0),
+            )
+        pairs = np.vstack(pair_list)
+        d = pos[pairs[:, 1]] - pos[pairs[:, 0]]
+        d -= config.cell * np.round(d / config.cell)
+        return pairs, d, np.linalg.norm(d, axis=1)

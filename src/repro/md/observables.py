@@ -1,0 +1,115 @@
+"""Trajectory observables: radial distribution, mean-square displacement,
+velocity autocorrelation, and diffusion constants.
+
+These are the standard QMD analysis tools behind the paper's structural
+claims (bond formation around Al, Li dissolution into the solvent shell).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.systems.configuration import Configuration
+
+
+def radial_distribution(
+    config: Configuration,
+    species_a: str | None = None,
+    species_b: str | None = None,
+    r_max: float | None = None,
+    nbins: int = 100,
+) -> tuple[np.ndarray, np.ndarray]:
+    """g(r) between two species (or all atoms); returns (r_centers, g).
+
+    Normalized so g → 1 for an ideal gas at the same partial density.
+    """
+    if r_max is None:
+        r_max = float(np.min(config.cell) / 2.0)
+    if r_max <= 0 or nbins < 2:
+        raise ValueError("need positive r_max and nbins >= 2")
+    idx_a = np.array(
+        [i for i, s in enumerate(config.symbols) if species_a in (None, s)]
+    )
+    idx_b = np.array(
+        [i for i, s in enumerate(config.symbols) if species_b in (None, s)]
+    )
+    if len(idx_a) == 0 or len(idx_b) == 0:
+        raise ValueError("empty species selection")
+    pos = config.wrapped_positions()
+    diff = pos[idx_b][None, :, :] - pos[idx_a][:, None, :]
+    diff -= config.cell * np.round(diff / config.cell)
+    r = np.linalg.norm(diff, axis=-1).ravel()
+    r = r[(r > 1e-9) & (r < r_max)]
+
+    edges = np.linspace(0.0, r_max, nbins + 1)
+    counts, _ = np.histogram(r, bins=edges)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    shell_volumes = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    pair_density = len(idx_a) * len(idx_b) / config.volume
+    if species_a == species_b or (species_a is None and species_b is None):
+        pair_density -= len(idx_a) / config.volume  # exclude self pairs
+    expected = shell_volumes * pair_density
+    g = np.where(expected > 0, counts / expected, 0.0)
+    return centers, g
+
+
+def mean_square_displacement(
+    position_frames: list[np.ndarray], cell: np.ndarray
+) -> np.ndarray:
+    """MSD(t) relative to the first frame, with unwrapped trajectories.
+
+    Frames must be closely spaced (per-step displacement < half the cell)
+    so minimum-image unwrapping is unambiguous.
+    """
+    if len(position_frames) < 2:
+        raise ValueError("need at least two frames")
+    cell = np.asarray(cell, dtype=float).reshape(3)
+    unwrapped = [np.asarray(position_frames[0], dtype=float)]
+    for frame in position_frames[1:]:
+        step = frame - (unwrapped[-1] % cell)
+        step -= cell * np.round(step / cell)
+        unwrapped.append(unwrapped[-1] + step)
+    ref = unwrapped[0]
+    return np.array(
+        [float(np.mean(np.sum((u - ref) ** 2, axis=1))) for u in unwrapped]
+    )
+
+
+def diffusion_constant(msd: np.ndarray, timestep: float, skip: int = 0) -> float:
+    """Einstein relation: D = slope(MSD)/6 from a linear fit."""
+    if len(msd) - skip < 2:
+        raise ValueError("not enough MSD points after skip")
+    t = np.arange(len(msd)) * timestep
+    slope, _ = np.polyfit(t[skip:], msd[skip:], 1)
+    return float(slope / 6.0)
+
+
+def velocity_autocorrelation(velocity_frames: list[np.ndarray]) -> np.ndarray:
+    """Normalized VACF(t) = <v(0)·v(t)> / <v(0)·v(0)>."""
+    if len(velocity_frames) < 1:
+        raise ValueError("need at least one frame")
+    v0 = np.asarray(velocity_frames[0], dtype=float)
+    norm = float(np.mean(np.sum(v0 * v0, axis=1)))
+    if norm <= 0:
+        raise ValueError("zero initial velocities")
+    return np.array(
+        [float(np.mean(np.sum(v0 * np.asarray(v), axis=1))) / norm
+         for v in velocity_frames]
+    )
+
+
+def coordination_number(
+    config: Configuration, center_species: str, neighbor_species: str, cutoff: float
+) -> float:
+    """Average number of ``neighbor_species`` atoms within ``cutoff`` of a
+    ``center_species`` atom (e.g. O around Al — the oxide-shell growth)."""
+    centers = [i for i, s in enumerate(config.symbols) if s == center_species]
+    neighbors = [i for i, s in enumerate(config.symbols) if s == neighbor_species]
+    if not centers or not neighbors:
+        return 0.0
+    pos = config.wrapped_positions()
+    diff = pos[neighbors][None, :, :] - pos[centers][:, None, :]
+    diff -= config.cell * np.round(diff / config.cell)
+    r = np.linalg.norm(diff, axis=-1)
+    count = np.sum((r > 1e-9) & (r <= cutoff))
+    return float(count) / len(centers)

@@ -1,0 +1,70 @@
+"""Thermostats for canonical-ensemble (NVT) sampling.
+
+* :class:`BerendsenThermostat` — weak-coupling velocity rescale; simple and
+  robust for equilibration (what large production QMD typically uses to hold
+  300/600/1500 K).
+* :class:`LangevinThermostat` — stochastic friction + noise; proper
+  canonical sampling, used by the reactive surrogate where rare-event
+  statistics matter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import KELVIN_TO_HARTREE
+from repro.md.integrator import temperature
+from repro.systems.configuration import Configuration
+
+
+class BerendsenThermostat:
+    """Velocity rescaling toward a target temperature with time constant τ."""
+
+    def __init__(self, target_kelvin: float, tau: float, timestep: float) -> None:
+        if target_kelvin <= 0 or tau <= 0 or timestep <= 0:
+            raise ValueError("temperature, tau, and timestep must be positive")
+        if tau < timestep:
+            raise ValueError("tau must be >= timestep")
+        self.target = float(target_kelvin)
+        self.tau = float(tau)
+        self.dt = float(timestep)
+
+    def apply(self, config: Configuration) -> None:
+        t_now = temperature(config)
+        if t_now <= 0:
+            return
+        lam2 = 1.0 + (self.dt / self.tau) * (self.target / t_now - 1.0)
+        config.velocities *= np.sqrt(max(lam2, 1e-12))
+
+
+class LangevinThermostat:
+    """BAOAB-style Ornstein–Uhlenbeck velocity update.
+
+    Applied once per step: v ← c v + √((1-c²) k_B T / m) ξ with
+    c = exp(-γ dt).
+    """
+
+    def __init__(
+        self,
+        target_kelvin: float,
+        friction: float,
+        timestep: float,
+        seed: int = 0,
+    ) -> None:
+        if target_kelvin <= 0 or friction <= 0 or timestep <= 0:
+            raise ValueError("temperature, friction, and timestep must be positive")
+        self.target = float(target_kelvin)
+        self.gamma = float(friction)
+        self.dt = float(timestep)
+        self.rng = np.random.default_rng(seed)
+
+    def apply(self, config: Configuration) -> None:
+        if config.velocities is None:
+            config.velocities = np.zeros_like(config.positions)
+        kt = self.target * KELVIN_TO_HARTREE
+        c = np.exp(-self.gamma * self.dt)
+        sigma = np.sqrt((1.0 - c * c) * kt / config.masses)[:, None]
+        config.velocities = (
+            c * config.velocities
+            + sigma * self.rng.normal(size=config.velocities.shape)
+        )

@@ -1,0 +1,130 @@
+"""Trajectory I/O: extended-XYZ text frames and the compressed binary format.
+
+The production pipeline of Sec. 4.2 writes atomic coordinates through the
+collective-I/O layer with the space-filling-curve compressor; this module
+provides the serializer pair (human-readable XYZ for small runs, compressed
+frames for production) and round-trip readers.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+
+import numpy as np
+
+from repro.compression.codec import CompressedFrame, compress_frame, decompress_frame
+from repro.systems.configuration import Configuration
+
+
+# ---------------------------------------------------------------------------
+# extended XYZ
+# ---------------------------------------------------------------------------
+
+def write_xyz_frame(config: Configuration, comment: str = "") -> str:
+    """One extended-XYZ frame (with the cell in the comment line)."""
+    lines = [str(config.natoms)]
+    cell = " ".join(f"{x:.10f}" for x in config.cell)
+    comment = comment.replace("\n", " ")
+    lines.append(f'Lattice="{cell}" {comment}'.rstrip())
+    for sym, pos in zip(config.symbols, config.positions):
+        lines.append(
+            f"{sym} {pos[0]:.10f} {pos[1]:.10f} {pos[2]:.10f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def read_xyz_frame(text: str) -> Configuration:
+    """Parse one frame produced by :func:`write_xyz_frame`."""
+    stream = io.StringIO(text)
+    natoms = int(stream.readline())
+    header = stream.readline()
+    if 'Lattice="' not in header:
+        raise ValueError("missing Lattice specification")
+    cell_str = header.split('Lattice="')[1].split('"')[0]
+    cell = np.array([float(x) for x in cell_str.split()])
+    symbols, positions = [], []
+    for _ in range(natoms):
+        parts = stream.readline().split()
+        if len(parts) < 4:
+            raise ValueError("truncated XYZ frame")
+        symbols.append(parts[0])
+        positions.append([float(x) for x in parts[1:4]])
+    return Configuration(symbols, np.array(positions), cell)
+
+
+class XYZTrajectoryWriter:
+    """Appends frames to an (in-memory or on-disk) XYZ trajectory."""
+
+    def __init__(self, path: str | pathlib.Path | None = None) -> None:
+        self.path = pathlib.Path(path) if path else None
+        self._frames: list[str] = []
+
+    def write(self, config: Configuration, comment: str = "") -> None:
+        frame = write_xyz_frame(config, comment)
+        self._frames.append(frame)
+        if self.path is not None:
+            with open(self.path, "a") as fh:
+                fh.write(frame)
+
+    @property
+    def nframes(self) -> int:
+        return len(self._frames)
+
+    def text(self) -> str:
+        return "".join(self._frames)
+
+
+def read_xyz_trajectory(text: str) -> list[Configuration]:
+    """Split a multi-frame XYZ file into configurations."""
+    lines = text.splitlines()
+    out: list[Configuration] = []
+    i = 0
+    while i < len(lines):
+        if not lines[i].strip():
+            i += 1
+            continue
+        natoms = int(lines[i])
+        chunk = "\n".join(lines[i : i + natoms + 2]) + "\n"
+        out.append(read_xyz_frame(chunk))
+        i += natoms + 2
+    return out
+
+
+# ---------------------------------------------------------------------------
+# compressed trajectories
+# ---------------------------------------------------------------------------
+
+class CompressedTrajectory:
+    """A sequence of SFC-compressed coordinate frames with fixed topology."""
+
+    def __init__(
+        self, symbols: list[str], cell: np.ndarray, bits: int = 12,
+        curve: str = "hilbert",
+    ) -> None:
+        self.symbols = list(symbols)
+        self.cell = np.asarray(cell, dtype=float).reshape(3)
+        self.bits = bits
+        self.curve = curve
+        self.frames: list[CompressedFrame] = []
+
+    def append(self, positions: np.ndarray) -> None:
+        if len(positions) != len(self.symbols):
+            raise ValueError("atom count changed between frames")
+        self.frames.append(
+            compress_frame(positions, self.cell, self.bits, self.curve)
+        )
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def configuration(self, index: int) -> Configuration:
+        pos = decompress_frame(self.frames[index])
+        return Configuration(self.symbols, pos, self.cell)
+
+    def nbytes(self) -> int:
+        return sum(f.nbytes for f in self.frames)
+
+    def compression_ratio(self) -> float:
+        raw = len(self.frames) * len(self.symbols) * 24
+        return raw / max(self.nbytes(), 1)

@@ -1,0 +1,43 @@
+"""The multigrid level hierarchy — the octree abstraction of Fig. 1(a).
+
+Each level halves the grid per axis.  The hierarchy also exposes the
+per-level data volumes, which the parallel cost model uses to charge the
+tree-topology communication of the inter-domain (global) solve: volume
+decays by 8× per level, so the total up-tree traffic is geometrically
+bounded — the paper's metascalability condition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GridHierarchy:
+    """Shapes and spacings of a periodic multigrid hierarchy."""
+
+    def __init__(self, lengths, finest_shape, min_size: int = 4) -> None:
+        self.lengths = np.asarray(lengths, dtype=float).reshape(3)
+        shape = tuple(int(n) for n in np.asarray(finest_shape).reshape(3))
+        if any(n < min_size for n in shape):
+            raise ValueError(f"finest grid {shape} below min size {min_size}")
+        self.shapes: list[tuple[int, int, int]] = [shape]
+        while all(n % 2 == 0 and n // 2 >= min_size for n in self.shapes[-1]):
+            self.shapes.append(tuple(n // 2 for n in self.shapes[-1]))
+
+    @property
+    def nlevels(self) -> int:
+        return len(self.shapes)
+
+    def spacing(self, level: int) -> np.ndarray:
+        return self.lengths / np.array(self.shapes[level], dtype=float)
+
+    def points(self, level: int) -> int:
+        return int(np.prod(self.shapes[level]))
+
+    def level_volumes(self) -> list[int]:
+        """Grid-point counts per level (finest first)."""
+        return [self.points(lv) for lv in range(self.nlevels)]
+
+    def total_work(self) -> int:
+        """Σ points over levels — bounded by 8/7 of the finest level."""
+        return sum(self.level_volumes())

@@ -1,0 +1,46 @@
+"""Inter-grid transfer operators: full-weighting restriction and trilinear
+prolongation on periodic grids with even sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def full_weighting_restrict(fine: np.ndarray) -> np.ndarray:
+    """Restrict a fine field to the coarse grid (half the points per axis).
+
+    Full weighting: the coarse value is the 27-point average with trilinear
+    weights (separable [1/4, 1/2, 1/4] per axis), implemented as three 1-D
+    periodic convolutions followed by decimation.
+    """
+    if any(n % 2 for n in fine.shape):
+        raise ValueError(f"fine grid must have even shape, got {fine.shape}")
+    out = fine
+    for axis in range(3):
+        out = (
+            0.25 * np.roll(out, 1, axis=axis)
+            + 0.5 * out
+            + 0.25 * np.roll(out, -1, axis=axis)
+        )
+    return out[::2, ::2, ::2].copy()
+
+
+def trilinear_prolong(coarse: np.ndarray) -> np.ndarray:
+    """Prolongate a coarse field to the doubled grid by trilinear interpolation.
+
+    The adjoint (up to scaling) of :func:`full_weighting_restrict`:
+    coarse points inject, midpoints average their periodic neighbors.
+    """
+    shape = tuple(2 * n for n in coarse.shape)
+    out = np.zeros(shape, dtype=coarse.dtype)
+    out[::2, ::2, ::2] = coarse
+    # interpolate along each axis in turn
+    for axis in range(3):
+        odd = [slice(None)] * 3
+        even = [slice(None)] * 3
+        odd[axis] = slice(1, None, 2)
+        even[axis] = slice(0, None, 2)
+        shifted = np.roll(out[tuple(even)], -1, axis=axis)
+        out[tuple(odd)] = 0.5 * (out[tuple(even)] + shifted)
+    return out

@@ -1,0 +1,52 @@
+"""The virtual parallel machine — substitute for the 786,432-core Blue Gene/Q.
+
+Two halves, usable separately or together:
+
+* **Functional simulated MPI** (:mod:`repro.parallel.comm`): ranks,
+  communicators, ``split`` (the paper's ``MPI_COMM_SPLIT`` per domain),
+  collectives over per-rank NumPy values.  Executes the *real* data movement
+  of the BSD decomposition at small rank counts, so the parallel algorithms
+  can be tested for correctness against their serial counterparts.
+* **Analytic cost model** (:mod:`repro.parallel.machine`,
+  :mod:`repro.parallel.topology`, :mod:`repro.parallel.trace`): per-node
+  FLOP rates with SIMD/threading efficiency (Blue Gene/Q and Xeon E5-2665
+  presets), 5-D torus link model, tree/butterfly collective costs, and
+  per-rank virtual clocks.  Communication issued through a
+  :class:`~repro.parallel.comm.VirtualComm` is charged to the clocks, so a
+  run yields both the answer and the predicted wall-clock time.
+
+Scaling to core counts we cannot instantiate (Figs. 5-6) is a deterministic
+evaluation of the same cost expressions — see
+:mod:`repro.perfmodel.scaling`.
+"""
+
+from repro.parallel.machine import (
+    BLUE_GENE_Q,
+    MIRA,
+    XEON_E5_2665,
+    MachineSpec,
+)
+from repro.parallel.topology import TorusTopology, TreeTopology
+from repro.parallel.trace import CostTracker
+from repro.parallel.comm import VirtualComm
+from repro.parallel.decomposition import BSDLayout
+from repro.parallel.collective_io import CollectiveIOModel
+from repro.parallel.scheduler import Schedule, schedule_domains
+from repro.parallel.halo import exchange_halos, halo_bytes_per_domain
+
+__all__ = [
+    "MachineSpec",
+    "BLUE_GENE_Q",
+    "MIRA",
+    "XEON_E5_2665",
+    "TorusTopology",
+    "TreeTopology",
+    "CostTracker",
+    "VirtualComm",
+    "BSDLayout",
+    "CollectiveIOModel",
+    "Schedule",
+    "schedule_domains",
+    "exchange_halos",
+    "halo_bytes_per_domain",
+]

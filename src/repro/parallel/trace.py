@@ -1,0 +1,103 @@
+"""Per-rank virtual clocks and the event trace.
+
+Every compute section or communication primitive executed through the
+virtual machine is *charged* here: compute advances the participating
+ranks' clocks, a synchronizing collective first aligns the participants to
+their maximum (the laggard defines the cost — exactly how real bulk-
+synchronous codes behave), then adds the collective's modeled time.
+
+``elapsed()`` (max over clocks) is the predicted wall-clock of the run, and
+the event log supports per-phase breakdowns like the paper's I/O accounting
+(Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TraceEvent:
+    kind: str
+    ranks: tuple[int, ...] | None  # None = all ranks
+    seconds: float
+    nbytes: float = 0.0
+    label: str = ""
+
+
+class CostTracker:
+    """Virtual clocks for ``nranks`` simulated ranks."""
+
+    def __init__(self, nranks: int) -> None:
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        self.nranks = nranks
+        self.clocks = np.zeros(nranks)
+        self.events: list[TraceEvent] = []
+
+    # -- charging -----------------------------------------------------------
+
+    def charge_compute(self, ranks, seconds: float, label: str = "compute") -> None:
+        """Advance the given ranks' clocks by a compute duration."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        idx = self._as_index(ranks)
+        self.clocks[idx] += seconds
+        self.events.append(TraceEvent("compute", self._key(ranks), seconds, 0.0, label))
+
+    def charge_collective(
+        self, ranks, seconds: float, nbytes: float = 0.0, label: str = "collective"
+    ) -> None:
+        """Synchronize the participants, then advance all of them."""
+        idx = self._as_index(ranks)
+        sync = float(np.max(self.clocks[idx]))
+        self.clocks[idx] = sync + seconds
+        self.events.append(
+            TraceEvent("collective", self._key(ranks), seconds, nbytes, label)
+        )
+
+    def charge_p2p(
+        self, src: int, dst: int, seconds: float, nbytes: float = 0.0,
+        label: str = "p2p",
+    ) -> None:
+        """Point-to-point: receiver finishes at max(send-ready, recv-ready) + t."""
+        ready = max(self.clocks[src], self.clocks[dst])
+        self.clocks[src] = ready + seconds
+        self.clocks[dst] = ready + seconds
+        self.events.append(TraceEvent("p2p", (src, dst), seconds, nbytes, label))
+
+    # -- queries ------------------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Predicted wall-clock so far (slowest rank)."""
+        return float(np.max(self.clocks))
+
+    def imbalance(self) -> float:
+        """Relative load imbalance: (max - mean)/max (0 = perfect)."""
+        mx = np.max(self.clocks)
+        if mx <= 0:
+            return 0.0
+        return float((mx - np.mean(self.clocks)) / mx)
+
+    def total_by_label(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for e in self.events:
+            out[e.label] = out.get(e.label, 0.0) + e.seconds
+        return out
+
+    def total_bytes(self) -> float:
+        return float(sum(e.nbytes for e in self.events))
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _as_index(self, ranks):
+        if ranks is None:
+            return slice(None)
+        return np.asarray(list(ranks), dtype=int)
+
+    def _key(self, ranks):
+        if ranks is None:
+            return None
+        return tuple(int(r) for r in ranks)

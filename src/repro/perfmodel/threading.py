@@ -1,0 +1,107 @@
+"""The FLOP-rate model behind Tables 1-2 (threading, SIMD, and dilution).
+
+Three multiplicative factors over peak:
+
+* ``simd_efficiency`` — attainable fraction from the vectorized instruction
+  mix (Sec. 4.2's QPX work: post-optimization ≈ 0.56 on Blue Gene/Q).
+* ``issue_efficiency(threads/core)`` — PowerPC A2 needs ≥ 2 instruction
+  streams to dual-issue; 4 hardware threads hide more latency (Table 1's
+  rising columns).
+* ``dilution(scale)`` — at fixed problem size, adding nodes shrinks the
+  per-node working set and raises the communication fraction (Table 1's
+  falling rows); under weak scaling only a gentle log-depth collective term
+  remains (Table 2's 54% → 50.5%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.machine import (
+    BLUE_GENE_Q,
+    MIRA_NODES_PER_RACK,
+    MachineSpec,
+)
+
+#: Strong-scaling dilution coefficient (Table 1 calibration).
+STRONG_DILUTION = 0.105
+
+#: Weak-scaling dilution per log₂(racks) (Table 2 calibration).
+WEAK_DILUTION = 0.0125
+
+#: Table 2's weak-scaled problem runs slightly below the Table-1 small-block
+#: optimum (larger per-rank working sets): 53.99% vs the 56% SIMD ceiling.
+RACK_BASE_FRACTION = 0.9641
+
+
+def strong_dilution(nodes: int, base_nodes: int = 4) -> float:
+    """Efficiency factor when spreading a fixed problem over more nodes."""
+    if nodes < base_nodes:
+        return 1.0
+    return 1.0 / (1.0 + STRONG_DILUTION * np.log2(nodes / base_nodes))
+
+
+def weak_dilution(racks: float, base_racks: float = 1.0) -> float:
+    """Efficiency factor under weak scaling across racks."""
+    if racks <= base_racks:
+        return 1.0
+    return 1.0 / (1.0 + WEAK_DILUTION * np.log2(racks / base_racks))
+
+
+@dataclass
+class FlopRow:
+    """One row/cell of a FLOP-rate table."""
+
+    nodes: int
+    threads_per_core: int
+    gflops: float
+    percent_peak: float
+
+
+def node_flop_rate(
+    machine: MachineSpec,
+    nodes: int,
+    threads_per_core: int,
+    dilution: float = 1.0,
+) -> FlopRow:
+    """Modeled aggregate FLOP/s for a partition."""
+    eff = machine.effective_node_flops(threads_per_core) * dilution
+    total = eff * nodes
+    peak = machine.peak_flops(nodes)
+    return FlopRow(nodes, threads_per_core, total / 1e9, 100.0 * total / peak)
+
+
+def flops_table(
+    machine: MachineSpec = BLUE_GENE_Q,
+    node_counts: tuple[int, ...] = (4, 8, 16),
+    thread_counts: tuple[int, ...] = (1, 2, 4),
+    base_nodes: int = 4,
+) -> list[FlopRow]:
+    """The Table 1 sweep: fixed 512-atom problem, nodes × threads grid."""
+    rows = []
+    for nodes in node_counts:
+        dil = strong_dilution(nodes, base_nodes)
+        for t in thread_counts:
+            rows.append(node_flop_rate(machine, nodes, t, dil))
+    return rows
+
+
+def rack_table(
+    machine: MachineSpec = BLUE_GENE_Q,
+    racks: tuple[int, ...] = (1, 2, 48),
+    nodes_per_rack: int = MIRA_NODES_PER_RACK,
+) -> list[FlopRow]:
+    """The Table 2 sweep: weak-scaled problem over Mira racks, 4 threads."""
+    rows = []
+    for r in racks:
+        dil = RACK_BASE_FRACTION * weak_dilution(r)
+        row = node_flop_rate(machine, r * nodes_per_rack, 4, dil)
+        rows.append(row)
+    return rows
+
+
+def xeon_portability_estimate(machine: MachineSpec) -> FlopRow:
+    """Sec. 5.4: single dual-Xeon node, hyper-threaded (Table-free scalar)."""
+    return node_flop_rate(machine, 1, 2, 1.0)

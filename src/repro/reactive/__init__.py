@@ -1,0 +1,49 @@
+"""Reactive surrogate for the hydrogen-on-demand science application (Sec. 6).
+
+The paper's production QMD (16,661 atoms × 21,140 steps of ab initio
+dynamics) is far beyond a NumPy prototype, so this package substitutes a
+surrogate with the *same observables* (DESIGN.md §2):
+
+* :mod:`repro.reactive.potential` — a Morse/bond-order reactive force field
+  for Li/Al/O/H (water stays bonded, Al-O/Li-O oxidize, H-H recombines).
+* :mod:`repro.reactive.bonds` — bond-graph analysis (networkx): H₂ / OH⁻ /
+  H₃O⁺ detection, dissolved-Li census — the paper's trajectory analytics.
+* :mod:`repro.reactive.sites` — surface-atom and Lewis acid-base pair
+  census on nanoparticle geometries (the key nanostructural design).
+* :mod:`repro.reactive.kmc` — Gillespie kinetic Monte Carlo over surface
+  sites with the paper's activation energies (water dissociation at a
+  Li-Al pair: 0.068 eV; pure Al: ≈ 0.4 eV), Li dissolution → pH rise →
+  oxide-passivation inhibition (the autocatalytic yield mechanism).
+* :mod:`repro.reactive.analysis` — Arrhenius fits, rates with error bars,
+  pH proxy.
+"""
+
+from repro.reactive.potential import ReactiveForceField
+from repro.reactive.bonds import BondGraph, count_h2, molecule_census
+from repro.reactive.sites import surface_atoms, lewis_pairs, SiteCensus
+from repro.reactive.kmc import KMCOptions, KMCResult, run_kmc
+from repro.reactive.analysis import arrhenius_fit, ph_from_hydroxide, production_rate
+from repro.reactive.charges import ChargeResult, equilibrate_charges, superanion_metric
+from repro.reactive.events import EventDetector, EventLog, ReactionEvent
+
+__all__ = [
+    "ReactiveForceField",
+    "BondGraph",
+    "count_h2",
+    "molecule_census",
+    "surface_atoms",
+    "lewis_pairs",
+    "SiteCensus",
+    "KMCOptions",
+    "KMCResult",
+    "run_kmc",
+    "arrhenius_fit",
+    "ph_from_hydroxide",
+    "production_rate",
+    "ChargeResult",
+    "equilibrate_charges",
+    "superanion_metric",
+    "EventDetector",
+    "EventLog",
+    "ReactionEvent",
+]

@@ -1,0 +1,92 @@
+"""Kinetic analysis: Arrhenius fits, rates with error bars, and the pH proxy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import KB_EV
+
+
+@dataclass
+class ArrheniusFit:
+    """k(T) = A exp(-E_a / k_B T)."""
+
+    activation_ev: float
+    prefactor: float
+    r_squared: float
+
+    def rate(self, temperature: float) -> float:
+        return self.prefactor * np.exp(
+            -self.activation_ev / (KB_EV * temperature)
+        )
+
+
+def arrhenius_fit(temperatures, rates) -> ArrheniusFit:
+    """Fit ln k vs 1/T; the slope is -E_a/k_B (Fig. 9(a)'s blue line)."""
+    temperatures = np.asarray(temperatures, dtype=float)
+    rates = np.asarray(rates, dtype=float)
+    if temperatures.size < 2:
+        raise ValueError("need at least two temperatures")
+    if np.any(rates <= 0) or np.any(temperatures <= 0):
+        raise ValueError("rates and temperatures must be positive")
+    x = 1.0 / temperatures
+    y = np.log(rates)
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ArrheniusFit(
+        activation_ev=float(-slope * KB_EV),
+        prefactor=float(np.exp(intercept)),
+        r_squared=r2,
+    )
+
+
+def production_rate(times: np.ndarray, counts: np.ndarray) -> tuple[float, float]:
+    """Least-squares slope of the H₂ count vs time, with its standard error.
+
+    More robust than total/time when there is an induction transient.
+    """
+    times = np.asarray(times, dtype=float)
+    counts = np.asarray(counts, dtype=float)
+    if times.size < 2 or times[-1] <= times[0]:
+        return 0.0, 0.0
+    a = np.vstack([times, np.ones_like(times)]).T
+    coef, res, *_ = np.linalg.lstsq(a, counts, rcond=None)
+    slope = float(coef[0])
+    n = times.size
+    if n > 2 and res.size:
+        sigma2 = float(res[0]) / (n - 2)
+        sxx = float(np.sum((times - times.mean()) ** 2))
+        err = np.sqrt(sigma2 / sxx) if sxx > 0 else 0.0
+    else:
+        err = 0.0
+    return slope, err
+
+
+def rate_with_error(results) -> tuple[float, float]:
+    """Mean ± standard error of production rates over replica KMC runs."""
+    rates = np.array([r.production_rate() for r in results], dtype=float)
+    if rates.size == 0:
+        return 0.0, 0.0
+    err = rates.std(ddof=1) / np.sqrt(rates.size) if rates.size > 1 else 0.0
+    return float(rates.mean()), float(err)
+
+
+def ph_from_hydroxide(n_hydroxide: int, volume_bohr3: float) -> float:
+    """pH proxy from an explicit OH⁻ count in a given volume.
+
+    Converts to mol/L and uses pOH = -log₁₀[OH⁻]; returns 7 for zero count
+    (neutral water autoionization dominates).
+    """
+    if volume_bohr3 <= 0:
+        raise ValueError("volume must be positive")
+    if n_hydroxide <= 0:
+        return 7.0
+    liters = volume_bohr3 * (0.529177e-10) ** 3 * 1e3
+    moles = n_hydroxide / 6.02214076e23
+    conc = moles / liters
+    return float(14.0 + np.log10(conc)) if conc < 1.0 else 14.0

@@ -1,0 +1,93 @@
+"""Bond-graph analytics over configurations (the paper's trajectory analysis).
+
+A bond exists when the interatomic distance is below
+``bond_scale × (r_cov,i + r_cov,j)``; molecules are connected components of
+the bond graph (networkx).  From the graph we extract the paper's
+observables: produced H₂ molecules, hydroxide/hydronium census (the pH
+change accompanying H₂ production), intact waters, and dissolved Li.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.constants import get_species
+from repro.md.neighbors import NeighborList
+from repro.systems.configuration import Configuration
+
+#: default multiplier on the covalent-radius sum
+BOND_SCALE = 1.25
+
+
+class BondGraph:
+    """The bond graph of one configuration."""
+
+    def __init__(self, config: Configuration, bond_scale: float = BOND_SCALE) -> None:
+        self.config = config
+        self.bond_scale = float(bond_scale)
+        radii = np.array([get_species(s).covalent_radius for s in config.symbols])
+        max_cut = self.bond_scale * 2.0 * radii.max() if len(radii) else 1.0
+        nl = NeighborList(max_cut)
+        pairs, _, dist = nl.build(config)
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(config.natoms))
+        for (i, j), r in zip(pairs, dist):
+            if r <= self.bond_scale * (radii[i] + radii[j]):
+                self.graph.add_edge(int(i), int(j), distance=float(r))
+
+    def molecules(self) -> list[list[int]]:
+        """Connected components, as sorted atom-index lists."""
+        return [sorted(c) for c in nx.connected_components(self.graph)]
+
+    def formula(self, component) -> str:
+        """Hill-ish formula string for a component ("H2", "OH", "H2O"...)."""
+        counts = Counter(self.config.symbols[i] for i in component)
+        return "".join(
+            f"{sym}{counts[sym] if counts[sym] > 1 else ''}"
+            for sym in sorted(counts)
+        )
+
+    def coordination(self, i: int) -> int:
+        return self.graph.degree[i]
+
+
+@dataclass
+class MoleculeCensus:
+    """Counts of the species the paper tracks."""
+
+    h2: int = 0
+    water: int = 0
+    hydroxide: int = 0
+    hydronium: int = 0
+    dissolved_li: int = 0
+    other: dict[str, int] = field(default_factory=dict)
+
+
+def molecule_census(config: Configuration, bond_scale: float = BOND_SCALE) -> MoleculeCensus:
+    """Classify every molecule in the configuration."""
+    bg = BondGraph(config, bond_scale)
+    census = MoleculeCensus()
+    for comp in bg.molecules():
+        formula = bg.formula(comp)
+        if formula == "H2":
+            census.h2 += 1
+        elif formula == "H2O":
+            census.water += 1
+        elif formula == "HO":
+            census.hydroxide += 1
+        elif formula == "H3O":
+            census.hydronium += 1
+        elif formula == "Li":
+            census.dissolved_li += 1
+        else:
+            census.other[formula] = census.other.get(formula, 0) + 1
+    return census
+
+
+def count_h2(config: Configuration, bond_scale: float = BOND_SCALE) -> int:
+    """Number of free H₂ molecules — the quantity-of-interest of Sec. 5.5."""
+    return molecule_census(config, bond_scale).h2

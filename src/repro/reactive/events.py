@@ -1,0 +1,93 @@
+"""Reaction-event detection from trajectories.
+
+Diffs the bond graphs of consecutive snapshots and classifies the changes —
+the trajectory-mining step behind the paper's mechanism analysis (water
+dissociation at Lewis pairs, Al-O bond formation assisted by bridging
+oxygens, H₂ release).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.reactive.bonds import BOND_SCALE, BondGraph
+from repro.systems.configuration import Configuration
+
+
+@dataclass
+class ReactionEvent:
+    """One bond-topology change between consecutive frames."""
+
+    frame: int
+    kind: str  # "bond_formed" | "bond_broken"
+    atoms: tuple[int, int]
+    species: tuple[str, str]
+
+    def involves(self, symbol: str) -> bool:
+        return symbol in self.species
+
+
+@dataclass
+class EventLog:
+    """Accumulated events with simple census helpers."""
+
+    events: list[ReactionEvent] = field(default_factory=list)
+
+    def count(self, kind: str | None = None, species: set[str] | None = None) -> int:
+        out = 0
+        for e in self.events:
+            if kind is not None and e.kind != kind:
+                continue
+            if species is not None and set(e.species) != species:
+                continue
+            out += 1
+        return out
+
+    def water_dissociations(self) -> int:
+        """O-H bond-breaking events."""
+        return self.count("bond_broken", {"O", "H"})
+
+    def h2_formations(self) -> int:
+        """H-H bond-forming events."""
+        return self.count("bond_formed", {"H"})
+
+    def metal_oxidations(self) -> int:
+        """Al-O / Li-O bond-forming events."""
+        return self.count("bond_formed", {"Al", "O"}) + self.count(
+            "bond_formed", {"Li", "O"}
+        )
+
+
+class EventDetector:
+    """Stateful detector: feed snapshots, get the event log."""
+
+    def __init__(self, bond_scale: float = BOND_SCALE) -> None:
+        self.bond_scale = bond_scale
+        self.log = EventLog()
+        self._prev_edges: set[tuple[int, int]] | None = None
+        self._frame = -1
+
+    def update(self, config: Configuration) -> list[ReactionEvent]:
+        """Process one snapshot; returns this frame's new events."""
+        self._frame += 1
+        edges = {
+            tuple(sorted(e)) for e in BondGraph(config, self.bond_scale).graph.edges
+        }
+        new_events: list[ReactionEvent] = []
+        if self._prev_edges is not None:
+            for e in sorted(edges - self._prev_edges):
+                new_events.append(self._event("bond_formed", e, config))
+            for e in sorted(self._prev_edges - edges):
+                new_events.append(self._event("bond_broken", e, config))
+        self._prev_edges = edges
+        self.log.events.extend(new_events)
+        return new_events
+
+    def _event(self, kind, edge, config) -> ReactionEvent:
+        i, j = edge
+        return ReactionEvent(
+            frame=self._frame,
+            kind=kind,
+            atoms=(i, j),
+            species=(config.symbols[i], config.symbols[j]),
+        )

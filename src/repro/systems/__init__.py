@@ -1,0 +1,36 @@
+"""Atomic structures and the workload builders used by the paper's benchmarks.
+
+The evaluation section exercises four families of systems:
+
+* **SiC crystals** — weak scaling (Fig. 5), FLOP/s measurements (Tables 1-2),
+  portability (Sec. 5.4).
+* **Amorphous CdSe** — buffer-thickness convergence (Fig. 7).
+* **LiAl nanoparticles immersed in water** — strong scaling (Fig. 6) and the
+  hydrogen-on-demand science application (Figs. 8-9).
+* **Water boxes** — the solvent substrate.
+"""
+
+from repro.systems.configuration import Configuration
+from repro.systems.sic import sic_crystal, sic_for_cores
+from repro.systems.cdse import amorphous_cdse
+from repro.systems.water import water_box, water_molecule
+from repro.systems.lialloy import lial_nanoparticle, lial_in_water
+from repro.systems.toys import (
+    dimer,
+    random_gas,
+    simple_cubic_crystal,
+)
+
+__all__ = [
+    "Configuration",
+    "sic_crystal",
+    "sic_for_cores",
+    "amorphous_cdse",
+    "water_box",
+    "water_molecule",
+    "lial_nanoparticle",
+    "lial_in_water",
+    "dimer",
+    "random_gas",
+    "simple_cubic_crystal",
+]

@@ -1,0 +1,99 @@
+"""Amorphous CdSe builder — the Fig. 7 buffer-convergence workload.
+
+The paper studies energy convergence vs buffer thickness on "an amorphous
+cadmium selenide (CdSe) system containing 512 atoms in a cubic simulation box
+of length 45.664 atomic units", with cubic DC domains of side 11.416 a.u.
+(= L/4, i.e. a 4×4×4 domain grid).
+
+We generate amorphous structures by randomly displacing a zincblende CdSe
+lattice and then enforcing a minimum interatomic separation — a standard
+cheap surrogate for a melt-quench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.systems.configuration import Configuration
+
+#: Box length used in Fig. 7 (atomic units), for the 512-atom system.
+CDSE_FIG7_BOX = 45.664
+
+#: Domain edge used in Fig. 7 (atomic units): the box split 4×4×4.
+CDSE_FIG7_DOMAIN = 11.416
+
+
+def amorphous_cdse(
+    repeats: tuple[int, int, int] = (4, 4, 4),
+    box_length: float | None = None,
+    displacement: float = 0.35,
+    min_separation: float = 3.0,
+    seed: int = 0,
+) -> Configuration:
+    """Build an amorphous CdSe configuration.
+
+    Parameters
+    ----------
+    repeats:
+        Zincblende conventional cells per axis (8 atoms each); the paper's
+        512-atom system is ``(4, 4, 4)``.
+    box_length:
+        Cubic box edge in Bohr.  Defaults to ``CDSE_FIG7_BOX`` scaled by
+        ``repeats/4`` so densities match the paper's system.
+    displacement:
+        RMS random displacement as a fraction of the nearest-neighbor
+        distance (0 gives the perfect crystal).
+    min_separation:
+        Hard floor on interatomic distances (Bohr); displacements which
+        violate it are re-drawn.
+    seed:
+        RNG seed; structures are deterministic given the seed.
+    """
+    nx, ny, nz = repeats
+    if box_length is None:
+        box_length = CDSE_FIG7_BOX * max(nx, ny, nz) / 4.0
+    a = box_length / max(nx, ny, nz)
+    fcc = np.array(
+        [[0.0, 0.0, 0.0], [0.0, 0.5, 0.5], [0.5, 0.0, 0.5], [0.5, 0.5, 0.0]]
+    )
+    offsets = np.array(
+        [(i, j, k) for i in range(nx) for j in range(ny) for k in range(nz)],
+        dtype=float,
+    )
+    cd = (offsets[:, None, :] + fcc[None, :, :]).reshape(-1, 3) * a
+    se = (offsets[:, None, :] + (fcc + 0.25)[None, :, :]).reshape(-1, 3) * a
+    positions = np.vstack([cd, se])
+    symbols = ["Cd"] * len(cd) + ["Se"] * len(se)
+    cell = np.array([nx, ny, nz], dtype=float) * a
+
+    rng = np.random.default_rng(seed)
+    nn = a * np.sqrt(3.0) / 4.0  # zincblende nearest-neighbor distance
+    sigma = displacement * nn
+    config = Configuration(symbols, positions.copy(), cell)
+    if sigma > 0:
+        config.positions = _displace_with_floor(
+            config, sigma, min_separation, rng
+        )
+        config.wrap()
+    return config
+
+
+def _displace_with_floor(
+    config: Configuration, sigma: float, min_sep: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Random Gaussian displacements with per-atom rejection of overlaps."""
+    positions = config.positions.copy()
+    cell = config.cell
+    n = len(positions)
+    for i in range(n):
+        for _attempt in range(25):
+            trial = positions[i] + rng.normal(0.0, sigma, size=3)
+            diff = positions - trial
+            diff -= cell * np.round(diff / cell)
+            d = np.linalg.norm(diff, axis=1)
+            d[i] = np.inf
+            if d.min() >= min_sep:
+                positions[i] = trial
+                break
+        # if all attempts failed, keep the lattice position (still valid)
+    return positions

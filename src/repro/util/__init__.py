@@ -1,0 +1,20 @@
+"""Shared utilities: timers, RNG helpers, and linear-algebra wrappers."""
+
+from repro.util.timer import Timer, WallClock
+from repro.util.linalg import (
+    apply_projectors_blas2,
+    apply_projectors_blas3,
+    blocked_gram,
+    cholesky_orthonormalize,
+    lowdin_orthonormalize,
+)
+
+__all__ = [
+    "Timer",
+    "WallClock",
+    "apply_projectors_blas2",
+    "apply_projectors_blas3",
+    "blocked_gram",
+    "cholesky_orthonormalize",
+    "lowdin_orthonormalize",
+]

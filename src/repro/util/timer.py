@@ -1,0 +1,63 @@
+"""Lightweight hierarchical timers used by the SCF drivers and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+
+
+class WallClock:
+    """Monotonic wall clock; injectable for deterministic tests."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class Timer:
+    """Accumulates named wall-clock sections.
+
+    Usage::
+
+        t = Timer()
+        with t.section("scf"):
+            ...
+        t.total("scf")  # seconds
+    """
+
+    def __init__(self, clock: WallClock | None = None) -> None:
+        self._clock = clock or WallClock()
+        self._totals: dict[str, float] = defaultdict(float)
+        self._counts: dict[str, int] = defaultdict(int)
+
+    @contextmanager
+    def section(self, name: str):
+        start = self._clock.now()
+        try:
+            yield
+        finally:
+            self._totals[name] += self._clock.now() - start
+            self._counts[name] += 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration."""
+        self._totals[name] += seconds
+        self._counts[name] += 1
+
+    def total(self, name: str) -> float:
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def names(self) -> list[str]:
+        return sorted(self._totals)
+
+    def report(self) -> str:
+        """Human-readable summary table sorted by descending time."""
+        rows = sorted(self._totals.items(), key=lambda kv: -kv[1])
+        width = max((len(k) for k in self._totals), default=4)
+        lines = [f"{'section':<{width}}  {'total[s]':>10}  {'calls':>6}"]
+        for name, tot in rows:
+            lines.append(f"{name:<{width}}  {tot:>10.4f}  {self._counts[name]:>6}")
+        return "\n".join(lines)

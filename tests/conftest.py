@@ -1,0 +1,39 @@
+"""Shared fixtures: tiny systems and cached SCF results to keep tests fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dft.grid import RealSpaceGrid
+from repro.dft.scf import SCFOptions, run_scf
+from repro.systems import dimer, sic_crystal
+
+
+@pytest.fixture(scope="session")
+def h2_config():
+    return dimer("H", "H", 1.4, 12.0)
+
+
+@pytest.fixture(scope="session")
+def h2_scf(h2_config):
+    """A converged SCF result on the toy H₂ dimer (session-cached)."""
+    opts = SCFOptions(ecut=8.0, extra_bands=3, tol=1e-8, eig_tol=1e-9)
+    res = run_scf(h2_config, opts)
+    assert res.converged
+    return res
+
+
+@pytest.fixture(scope="session")
+def sic8():
+    return sic_crystal((1, 1, 1))
+
+
+@pytest.fixture()
+def small_grid():
+    return RealSpaceGrid([9.0, 10.0, 11.0], [12, 12, 12])
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,66 @@
+"""Tests for the collective I/O model (Sec. 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.collective_io import CollectiveIOModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CollectiveIOModel()
+
+
+#: a production snapshot on the full machine: ~0.5 TB of state
+FULL_MACHINE_RANKS = 786_432
+SNAPSHOT_BYTES = 0.5e12
+
+
+def test_io_time_positive(model):
+    assert model.io_time(SNAPSHOT_BYTES, FULL_MACHINE_RANKS, 192) > 0
+
+
+def test_io_validation(model):
+    with pytest.raises(ValueError):
+        model.io_time(1e9, 0, 192)
+
+
+def test_extremes_are_bad(model):
+    """Both no grouping and one giant group lose to a moderate group size."""
+    t_tiny = model.io_time(SNAPSHOT_BYTES, FULL_MACHINE_RANKS, 1)
+    t_opt = model.io_time(SNAPSHOT_BYTES, FULL_MACHINE_RANKS, 192)
+    t_huge = model.io_time(SNAPSHOT_BYTES, FULL_MACHINE_RANKS, FULL_MACHINE_RANKS)
+    assert t_opt < t_tiny
+    assert t_opt < t_huge
+
+
+def test_optimal_group_size_near_paper(model):
+    """The paper's optimum is 192 processes per I/O group."""
+    g, t = model.optimal_group_size(SNAPSHOT_BYTES, FULL_MACHINE_RANKS)
+    assert 64 <= g <= 768
+    assert t > 0
+
+
+def test_write_read_asymmetry(model):
+    """Paper: read 9.1 s vs write 99 s for the production run."""
+    t_w = model.io_time(SNAPSHOT_BYTES, FULL_MACHINE_RANKS, 192, write=True)
+    t_r = model.io_time(SNAPSHOT_BYTES, FULL_MACHINE_RANKS, 192, write=False)
+    assert t_r < t_w
+
+
+def test_production_fraction_of_runtime(model):
+    """Writes stay a tiny fraction of a 12-hour production run (≈0.23%)."""
+    t_w = model.io_time(SNAPSHOT_BYTES, FULL_MACHINE_RANKS, 192, write=True)
+    fraction = t_w / (12 * 3600.0)
+    assert fraction < 0.01
+
+
+def test_group_size_clamped_to_ranks(model):
+    t = model.io_time(1e9, 16, 1024)
+    assert np.isfinite(t) and t > 0
+
+
+def test_more_data_takes_longer(model):
+    t1 = model.io_time(1e11, FULL_MACHINE_RANKS, 192)
+    t2 = model.io_time(1e12, FULL_MACHINE_RANKS, 192)
+    assert t2 > t1

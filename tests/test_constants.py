@@ -1,0 +1,73 @@
+"""Tests for unit conversions and the species registry."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.constants import SPECIES, get_species, valence_electrons
+
+
+def test_hartree_ev_roundtrip():
+    assert constants.HARTREE_TO_EV * constants.EV_TO_HARTREE == pytest.approx(1.0)
+
+
+def test_hartree_to_ev_value():
+    assert constants.HARTREE_TO_EV == pytest.approx(27.2114, rel=1e-4)
+
+
+def test_bohr_angstrom_roundtrip():
+    assert constants.BOHR_TO_ANGSTROM * constants.ANGSTROM_TO_BOHR == pytest.approx(1.0)
+
+
+def test_boltzmann_consistency():
+    # k_B in eV/K should equal k_B in Ha/K times Ha->eV
+    assert constants.KB_EV == pytest.approx(
+        constants.KELVIN_TO_HARTREE * constants.HARTREE_TO_EV, rel=1e-6
+    )
+
+
+def test_room_temperature_in_hartree():
+    # 300 K ≈ 0.00095 Ha ≈ 25.9 meV
+    kt = 300.0 * constants.KELVIN_TO_HARTREE
+    assert kt * constants.HARTREE_TO_EV == pytest.approx(0.02585, rel=1e-3)
+
+
+def test_paper_timestep():
+    assert constants.PAPER_TIMESTEP_ATU * constants.ATU_TO_FS == pytest.approx(0.242)
+
+
+def test_species_registry_contains_paper_elements():
+    for symbol in ("H", "Li", "Al", "O", "Si", "C", "Cd", "Se"):
+        assert symbol in SPECIES
+
+
+def test_get_species_returns_consistent_symbol():
+    for symbol in SPECIES:
+        assert get_species(symbol).symbol == symbol
+
+
+def test_get_species_unknown_raises():
+    with pytest.raises(KeyError):
+        get_species("Xx")
+
+
+def test_valence_electron_counts():
+    # H2O: 6 + 1 + 1 = 8 valence electrons
+    assert valence_electrons(["O", "H", "H"]) == pytest.approx(8.0)
+    # SiC pair: 4 + 4
+    assert valence_electrons(["Si", "C"]) == pytest.approx(8.0)
+
+
+def test_species_positive_parameters():
+    for sp in SPECIES.values():
+        assert sp.zval > 0
+        assert sp.rc_loc > 0
+        assert sp.mass > 0
+        assert sp.nl_radius > 0
+        assert sp.covalent_radius > 0
+
+
+def test_species_frozen():
+    sp = get_species("H")
+    with pytest.raises(Exception):
+        sp.zval = 2.0

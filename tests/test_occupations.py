@@ -1,0 +1,103 @@
+"""Tests for Fermi–Dirac occupations and the Newton–Raphson μ solver."""
+
+import numpy as np
+import pytest
+
+from repro.dft.occupations import (
+    fermi_occupations,
+    find_chemical_potential,
+    occupation_derivative,
+    smearing_entropy,
+)
+
+
+def test_occupations_bounded():
+    eigs = np.linspace(-1, 1, 11)
+    f = fermi_occupations(eigs, 0.0, 0.05)
+    assert np.all(f >= 0) and np.all(f <= 2)
+
+
+def test_occupation_at_mu_is_one():
+    f = fermi_occupations(np.array([0.3]), 0.3, 0.01)
+    assert f[0] == pytest.approx(1.0)
+
+
+def test_occupations_monotone_decreasing():
+    eigs = np.linspace(-1, 1, 50)
+    f = fermi_occupations(eigs, 0.0, 0.1)
+    assert np.all(np.diff(f) < 0)
+
+
+def test_zero_temperature_step():
+    eigs = np.array([-1.0, 0.0, 1.0])
+    f = fermi_occupations(eigs, 0.5, 0.0)
+    np.testing.assert_array_equal(f, [2.0, 2.0, 0.0])
+
+
+def test_derivative_positive():
+    eigs = np.linspace(-1, 1, 7)
+    d = occupation_derivative(eigs, 0.0, 0.05)
+    assert np.all(d >= 0)
+    assert d[3] == d.max()  # peaked at μ
+
+
+def test_derivative_matches_fd():
+    eigs = np.array([-0.2, 0.0, 0.3])
+    mu, kt, h = 0.05, 0.02, 1e-7
+    fd = (fermi_occupations(eigs, mu + h, kt) - fermi_occupations(eigs, mu - h, kt)) / (
+        2 * h
+    )
+    np.testing.assert_allclose(occupation_derivative(eigs, mu, kt), fd, rtol=1e-5)
+
+
+def test_chemical_potential_conserves_electrons():
+    rng = np.random.default_rng(0)
+    eigs = np.sort(rng.normal(size=40))
+    for ne in (2.0, 7.0, 13.5, 40.0):
+        mu = find_chemical_potential(eigs, ne, kt=0.02)
+        total = fermi_occupations(eigs, mu, 0.02).sum()
+        assert total == pytest.approx(ne, abs=1e-9)
+
+
+def test_chemical_potential_with_weights():
+    eigs = np.array([-1.0, -0.5, 0.0, 0.5])
+    w = np.array([0.5, 1.0, 1.0, 0.5])
+    ne = 3.0
+    mu = find_chemical_potential(eigs, ne, kt=0.05, weights=w)
+    total = float(np.sum(w * fermi_occupations(eigs, mu, 0.05)))
+    assert total == pytest.approx(ne, abs=1e-9)
+
+
+def test_chemical_potential_gap_midpoint_zero_t():
+    eigs = np.array([-1.0, -0.8, 0.4, 0.6])
+    mu = find_chemical_potential(eigs, 4.0, kt=0.0)
+    assert -0.8 < mu < 0.4
+    assert mu == pytest.approx((-0.8 + 0.4) / 2)
+
+
+def test_chemical_potential_overfill_raises():
+    with pytest.raises(ValueError):
+        find_chemical_potential(np.array([0.0, 1.0]), 5.0, kt=0.01)
+
+
+def test_chemical_potential_empty_raises():
+    with pytest.raises(ValueError):
+        find_chemical_potential(np.array([]), 1.0, kt=0.01)
+
+
+def test_mu_increases_with_filling():
+    eigs = np.linspace(-1, 1, 20)
+    mus = [find_chemical_potential(eigs, ne, kt=0.05) for ne in (5.0, 10.0, 20.0)]
+    assert mus[0] < mus[1] < mus[2]
+
+
+def test_entropy_nonnegative_and_peaks_at_half_filling():
+    eigs = np.array([0.0])
+    s_half = smearing_entropy(eigs, 0.0, 0.05)  # f = 1 (half of 2)
+    s_full = smearing_entropy(eigs, 10.0, 0.05)  # f ≈ 2
+    assert s_half > s_full >= 0
+    assert s_half == pytest.approx(2 * np.log(2), rel=1e-6)
+
+
+def test_entropy_zero_at_zero_t():
+    assert smearing_entropy(np.array([0.0, 1.0]), 0.5, 0.0) == 0.0

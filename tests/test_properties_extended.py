@@ -1,0 +1,169 @@
+"""Second battery of property-based tests: Ewald invariances, Morse
+consistency, scheduler bounds, I/O model monotonicity, torus geometry,
+occupation-derivative consistency, and XYZ round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dft.ewald import ewald_energy
+from repro.md.trajectory import read_xyz_frame, write_xyz_frame
+from repro.parallel.collective_io import CollectiveIOModel
+from repro.parallel.scheduler import schedule_lpt
+from repro.parallel.topology import TorusTopology
+from repro.reactive.potential import MorseParams, _morse
+from repro.systems import Configuration
+
+COMMON = dict(max_examples=20, deadline=None)
+
+
+# ---- Ewald -------------------------------------------------------------------
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    shift=st.tuples(
+        st.floats(-5, 5), st.floats(-5, 5), st.floats(-5, 5)
+    ),
+)
+def test_ewald_translation_invariance_property(seed, shift):
+    rng = np.random.default_rng(seed)
+    cell = np.array([7.0, 8.0, 9.0])
+    pos = rng.uniform(0, 7, size=(4, 3))
+    q = rng.uniform(-1, 1, size=4)
+    q -= q.mean()
+    e0 = ewald_energy(pos, q, cell)
+    e1 = ewald_energy(np.mod(pos + np.array(shift), cell), q, cell)
+    assert e1 == pytest.approx(e0, abs=1e-8)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000), scale=st.floats(1.5, 3.0))
+def test_ewald_exact_scaling_law(seed, scale):
+    """Coulomb scaling: shrinking all lengths by λ multiplies E by λ."""
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(1, 9, size=(3, 3))
+    q = rng.uniform(-1, 1, size=3)
+    big = ewald_energy(pos, q, np.array([10.0] * 3))
+    small = ewald_energy(pos / scale, q, np.array([10.0 / scale] * 3))
+    assert small == pytest.approx(scale * big, rel=1e-7, abs=1e-9)
+
+
+# ---- Morse --------------------------------------------------------------------
+
+@settings(**COMMON)
+@given(
+    depth=st.floats(0.01, 1.0),
+    stiff=st.floats(0.5, 4.0),
+    r0=st.floats(1.0, 4.0),
+    r=st.floats(0.5, 8.0),
+)
+def test_morse_derivative_consistency(depth, stiff, r0, r):
+    p = MorseParams(depth, stiff, r0)
+    h = 1e-6
+    e_p, _ = _morse(np.array([r + h]), p)
+    e_m, _ = _morse(np.array([r - h]), p)
+    _, de = _morse(np.array([r]), p)
+    assert de[0] == pytest.approx((e_p[0] - e_m[0]) / (2 * h), abs=1e-4, rel=1e-4)
+
+
+@settings(**COMMON)
+@given(depth=st.floats(0.01, 1.0), stiff=st.floats(0.5, 4.0), r0=st.floats(1.0, 4.0))
+def test_morse_minimum_at_r0(depth, stiff, r0):
+    p = MorseParams(depth, stiff, r0)
+    e_min, de = _morse(np.array([r0]), p)
+    assert e_min[0] == pytest.approx(-depth)
+    assert de[0] == pytest.approx(0.0, abs=1e-12)
+
+
+# ---- scheduler ------------------------------------------------------------------
+
+@settings(**COMMON)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 40),
+    groups=st.integers(1, 8),
+)
+def test_lpt_makespan_bound(seed, n, groups):
+    """LPT is within 4/3 of the trivial lower bound max(mean, max_cost)."""
+    rng = np.random.default_rng(seed)
+    costs = rng.uniform(0.1, 10.0, size=n)
+    s = schedule_lpt(costs, groups)
+    lower = max(costs.sum() / groups, costs.max())
+    assert s.loads.max() <= 4.0 / 3.0 * lower + 1e-9
+
+
+@settings(**COMMON)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 30), groups=st.integers(1, 6))
+def test_lpt_conserves_work(seed, n, groups):
+    rng = np.random.default_rng(seed)
+    costs = rng.uniform(0.0, 5.0, size=n)
+    s = schedule_lpt(costs, groups)
+    assert s.loads.sum() == pytest.approx(costs.sum())
+
+
+# ---- I/O model -------------------------------------------------------------------
+
+@settings(**COMMON)
+@given(
+    factor=st.floats(1.5, 10.0),
+    group=st.sampled_from([16, 64, 192, 1024]),
+)
+def test_io_time_monotone_in_bytes(factor, group):
+    model = CollectiveIOModel()
+    t1 = model.io_time(1e10, 100_000, group)
+    t2 = model.io_time(1e10 * factor, 100_000, group)
+    assert t2 > t1
+
+
+# ---- torus ------------------------------------------------------------------------
+
+@settings(**COMMON)
+@given(
+    dims=st.tuples(st.integers(2, 6), st.integers(2, 6), st.integers(2, 4)),
+    seed=st.integers(0, 1000),
+)
+def test_torus_hops_metric(dims, seed):
+    """Hops form a metric: symmetric, zero iff equal, triangle inequality."""
+    t = TorusTopology(dims)
+    rng = np.random.default_rng(seed)
+    a, b, c = rng.integers(0, t.nnodes, size=3)
+    assert t.hops(a, b) == t.hops(b, a)
+    assert t.hops(a, a) == 0
+    assert t.hops(a, c) <= t.hops(a, b) + t.hops(b, c)
+    assert t.hops(a, b) <= t.max_hops()
+
+
+# ---- occupations -------------------------------------------------------------------
+
+@settings(**COMMON)
+@given(
+    mu=st.floats(-1.0, 1.0),
+    kt=st.floats(1e-3, 0.2),
+    eig=st.floats(-2.0, 2.0),
+)
+def test_occupation_derivative_consistency(mu, kt, eig):
+    from repro.dft.occupations import fermi_occupations, occupation_derivative
+
+    h = 1e-6
+    fd = (
+        fermi_occupations(np.array([eig]), mu + h, kt)
+        - fermi_occupations(np.array([eig]), mu - h, kt)
+    ) / (2 * h)
+    d = occupation_derivative(np.array([eig]), mu, kt)
+    assert d[0] == pytest.approx(fd[0], abs=1e-4, rel=1e-3)
+
+
+# ---- trajectory -------------------------------------------------------------------
+
+@settings(**COMMON)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 30))
+def test_xyz_roundtrip_property(seed, n):
+    rng = np.random.default_rng(seed)
+    symbols = [rng.choice(["H", "O", "Li", "Al"]) for _ in range(n)]
+    cfg = Configuration(
+        symbols, rng.uniform(0, 12, size=(n, 3)), [12.0, 13.0, 14.0]
+    )
+    back = read_xyz_frame(write_xyz_frame(cfg))
+    assert back.symbols == cfg.symbols
+    np.testing.assert_allclose(back.positions, cfg.positions, atol=1e-9)

@@ -1,0 +1,93 @@
+"""Tests for the Fig. 5 / Fig. 6 scaling models."""
+
+import pytest
+
+from repro.perfmodel.scaling import StrongScalingModel, WeakScalingModel
+
+
+@pytest.fixture(scope="module")
+def weak():
+    return WeakScalingModel()
+
+
+@pytest.fixture(scope="module")
+def strong():
+    return StrongScalingModel()
+
+
+# ---- weak scaling (Fig. 5) --------------------------------------------------
+
+def test_weak_scaling_nearly_flat(weak):
+    """Wall-clock per step barely grows from 16 to 786,432 cores."""
+    pts = weak.curve([16, 1024, 49_152, 786_432])
+    times = [p.wall_clock for p in pts]
+    assert max(times) / min(times) < 1.05
+
+
+def test_weak_efficiency_matches_paper(weak):
+    """Fig. 5 headline: 0.984 efficiency at 786,432 cores."""
+    p = weak.point(786_432)
+    assert p.efficiency == pytest.approx(0.984, abs=0.01)
+
+
+def test_weak_efficiency_monotone_decreasing(weak):
+    effs = [weak.point(c).efficiency for c in (16, 256, 4096, 65_536, 786_432)]
+    for a, b in zip(effs, effs[1:]):
+        assert b <= a + 1e-12
+
+
+def test_weak_atom_count(weak):
+    """64 atoms per core: the 786,432-core system is 50,331,648 atoms."""
+    p = weak.point(786_432)
+    assert p.natoms == 50_331_648
+
+
+def test_weak_speed_scales_linearly(weak):
+    p_small = weak.point(1024)
+    p_large = weak.point(786_432)
+    assert p_large.speed / p_small.speed == pytest.approx(768, rel=0.05)
+
+
+def test_weak_breakdown_dominated_by_domain_compute(weak):
+    bd = weak.point(786_432).breakdown
+    assert bd["domain"] > 0.9 * sum(bd.values())
+
+
+def test_weak_tree_term_grows_logarithmically(weak):
+    t1 = weak.point(1024).breakdown["tree"]
+    t2 = weak.point(786_432).breakdown["tree"]
+    assert t2 > t1
+    assert t2 < 5 * t1
+
+
+# ---- strong scaling (Fig. 6) ---------------------------------------------------
+
+def test_strong_speedup_matches_paper(strong):
+    """Fig. 6: 12.85× speedup from 49,152 → 786,432 cores."""
+    s = strong.speedup(786_432)
+    assert s == pytest.approx(12.85, abs=0.8)
+
+
+def test_strong_efficiency_matches_paper(strong):
+    p = strong.point(786_432)
+    assert p.efficiency == pytest.approx(0.803, abs=0.05)
+
+
+def test_strong_wall_clock_decreases(strong):
+    times = [strong.point(c).wall_clock for c in (49_152, 98_304, 393_216, 786_432)]
+    for a, b in zip(times, times[1:]):
+        assert b < a
+
+
+def test_strong_efficiency_decreases_with_cores(strong):
+    effs = [strong.point(c).efficiency for c in (49_152, 196_608, 786_432)]
+    assert effs[0] > effs[1] > effs[2]
+
+
+def test_strong_base_efficiency_is_one(strong):
+    assert strong.point(49_152).efficiency == pytest.approx(1.0)
+
+
+def test_strong_fixed_problem_size(strong):
+    for c in (49_152, 786_432):
+        assert strong.point(c).natoms == 77_889

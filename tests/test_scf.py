@@ -1,0 +1,150 @@
+"""Tests for the conventional O(N³) SCF driver."""
+
+import numpy as np
+import pytest
+
+from repro.dft.scf import SCFOptions, initial_density, run_scf
+from repro.systems import Configuration, dimer
+
+
+def test_h2_converges(h2_scf):
+    assert h2_scf.converged
+    assert h2_scf.iterations <= 30
+
+
+def test_h2_energy_negative_and_bound(h2_scf):
+    assert -2.0 < h2_scf.energy < 0.0
+
+
+def test_h2_electron_count(h2_scf):
+    assert h2_scf.grid.integrate(h2_scf.density) == pytest.approx(2.0, rel=1e-9)
+
+
+def test_h2_density_nonnegative(h2_scf):
+    assert h2_scf.density.min() >= -1e-12
+
+
+def test_h2_occupations(h2_scf):
+    # 2 electrons, tiny smearing: first band ~2, rest ~0
+    assert h2_scf.occupations[0] == pytest.approx(2.0, abs=1e-3)
+    assert h2_scf.occupations[-1] < 1e-3
+
+
+def test_h2_homo_below_mu(h2_scf):
+    assert h2_scf.eigenvalues[0] < h2_scf.mu
+
+
+def test_h2_orbitals_orthonormal(h2_scf):
+    s = h2_scf.orbitals.conj().T @ h2_scf.orbitals
+    np.testing.assert_allclose(s, np.eye(s.shape[0]), atol=1e-7)
+
+
+def test_energy_history_converges(h2_scf):
+    """Late-iteration energies should settle to the final value."""
+    hist = np.array(h2_scf.history)
+    assert abs(hist[-1] - h2_scf.energy) < 1e-5
+
+
+def test_density_residual_decreases(h2_scf):
+    res = np.array(h2_scf.density_residuals)
+    assert res[-1] < res[0]
+
+
+def test_initial_density_normalized():
+    cfg = dimer("O", "H", 1.8, 12.0)
+    from repro.dft.grid import RealSpaceGrid
+
+    grid = RealSpaceGrid.for_cutoff(cfg.cell, 6.0)
+    rho = initial_density(grid, cfg)
+    assert grid.integrate(rho) == pytest.approx(cfg.n_electrons(), rel=1e-9)
+    assert rho.min() >= 0.0
+
+
+def test_scf_eigensolver_consistency(h2_config):
+    """Direct and all-band eigensolvers must give the same SCF energy."""
+    e = {}
+    for solver in ("direct", "all_band"):
+        opts = SCFOptions(ecut=6.0, extra_bands=2, tol=1e-7, eigensolver=solver)
+        e[solver] = run_scf(h2_config, opts).energy
+    assert e["direct"] == pytest.approx(e["all_band"], abs=1e-5)
+
+
+def test_scf_translation_invariance(h2_config):
+    """Total energy must be invariant under rigid translation."""
+    opts = SCFOptions(ecut=6.0, extra_bands=2, tol=1e-7)
+    e0 = run_scf(h2_config, opts).energy
+    shifted = h2_config.translated([1.234, -0.77, 2.5])
+    e1 = run_scf(shifted, opts).energy
+    assert e1 == pytest.approx(e0, abs=2e-4)
+
+
+def test_scf_binding_curve_has_minimum():
+    """Toy H2 must bind: the curve has a minimum near 2.5 Bohr separation."""
+    opts = SCFOptions(ecut=7.0, extra_bands=2, tol=1e-6)
+    energies = {
+        sep: run_scf(dimer("H", "H", sep, 14.0), opts).energy
+        for sep in (1.0, 2.5, 5.0)
+    }
+    assert energies[2.5] < energies[1.0]
+    assert energies[2.5] < energies[5.0]
+
+
+def test_scf_mixer_choice(h2_config):
+    opts_l = SCFOptions(ecut=6.0, tol=1e-6, mixer="linear", mix_alpha=0.3, max_iter=80)
+    opts_p = SCFOptions(ecut=6.0, tol=1e-6, mixer="pulay")
+    res_l = run_scf(h2_config, opts_l)
+    res_p = run_scf(h2_config, opts_p)
+    assert res_l.converged and res_p.converged
+    assert res_l.energy == pytest.approx(res_p.energy, abs=1e-5)
+    # Pulay should not be slower
+    assert res_p.iterations <= res_l.iterations
+
+
+def test_scf_invalid_mixer(h2_config):
+    with pytest.raises(ValueError):
+        run_scf(h2_config, SCFOptions(mixer="nope"))
+
+
+def test_scf_invalid_eigensolver(h2_config):
+    with pytest.raises(ValueError):
+        run_scf(h2_config, SCFOptions(eigensolver="nope"))
+
+
+def test_scf_with_external_potential(h2_config):
+    """A constant v_extra rigidly shifts eigenvalues but not the total energy
+    structure (band energy shift is compensated by electron count × shift)."""
+    from repro.dft.grid import RealSpaceGrid
+
+    opts = SCFOptions(ecut=6.0, extra_bands=2, tol=1e-7)
+    grid = RealSpaceGrid.for_cutoff(h2_config.cell, opts.ecut, opts.grid_factor)
+    base = run_scf(h2_config, opts, grid=grid)
+    shift = 0.3
+    shifted = run_scf(
+        h2_config, opts, v_extra=np.full(grid.shape, shift), grid=grid
+    )
+    np.testing.assert_allclose(
+        shifted.eigenvalues, base.eigenvalues + shift, atol=1e-5
+    )
+    assert shifted.mu == pytest.approx(base.mu + shift, abs=1e-5)
+
+
+def test_scf_warm_start_density(h2_config, h2_scf):
+    """Warm-starting from the converged density converges immediately."""
+    opts = SCFOptions(ecut=8.0, extra_bands=3, tol=1e-8, eig_tol=1e-9)
+    res = run_scf(h2_config, opts, rho0=h2_scf.density)
+    assert res.converged
+    assert res.iterations <= 3
+    assert res.energy == pytest.approx(h2_scf.energy, abs=1e-6)
+
+
+def test_water_molecule_scf():
+    """A slightly bigger molecule (8 electrons) also converges."""
+    from repro.systems import water_molecule
+
+    w = water_molecule(center=(7.0, 7.0, 7.0), cell=(14.0, 14.0, 14.0))
+    opts = SCFOptions(ecut=6.0, extra_bands=3, tol=1e-5, max_iter=80)
+    res = run_scf(w, opts)
+    assert res.converged
+    assert res.energy < 0
+    # all 8 electrons accounted for
+    assert res.grid.integrate(res.density) == pytest.approx(8.0, rel=1e-8)

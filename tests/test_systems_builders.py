@@ -1,0 +1,186 @@
+"""Tests for the workload builders (SiC, CdSe, LiAl-water, water box)."""
+
+import numpy as np
+import pytest
+
+from repro.systems import (
+    amorphous_cdse,
+    lial_in_water,
+    lial_nanoparticle,
+    random_gas,
+    sic_crystal,
+    sic_for_cores,
+    simple_cubic_crystal,
+    water_box,
+    water_molecule,
+)
+from repro.systems.cdse import CDSE_FIG7_BOX
+from repro.systems.lialloy import particle_radius
+from repro.systems.water import OH_BOND
+
+
+# ---- SiC -------------------------------------------------------------------
+
+def test_sic_unit_cell_has_8_atoms():
+    c = sic_crystal((1, 1, 1))
+    assert len(c) == 8
+    assert c.counts() == {"Si": 4, "C": 4}
+
+
+def test_sic_supercell_count():
+    c = sic_crystal((2, 3, 1))
+    assert len(c) == 8 * 6
+
+
+def test_sic_nearest_neighbor_distance():
+    c = sic_crystal((2, 2, 2))
+    d = c.distance_matrix()
+    np.fill_diagonal(d, np.inf)
+    # zincblende NN distance = a*sqrt(3)/4 ≈ 1.888 Å ≈ 3.57 Bohr
+    from repro.systems.sic import SIC_LATTICE_CONSTANT
+
+    assert d.min() == pytest.approx(SIC_LATTICE_CONSTANT * np.sqrt(3) / 4, rel=1e-6)
+
+
+def test_sic_invalid_repeats():
+    with pytest.raises(ValueError):
+        sic_crystal((0, 1, 1))
+
+
+def test_sic_for_cores_is_64_atoms_per_core():
+    for cores in (1, 2, 16, 128):
+        c = sic_for_cores(cores)
+        assert len(c) == 64 * cores
+
+
+def test_sic_for_cores_paper_granularity():
+    """Fig. 5 workload: 64P atoms for P cores."""
+    c = sic_for_cores(16)
+    assert len(c) == 1024
+
+
+# ---- CdSe -------------------------------------------------------------------
+
+def test_cdse_512_atom_fig7_system():
+    c = amorphous_cdse((4, 4, 4))
+    assert len(c) == 512
+    assert c.counts() == {"Cd": 256, "Se": 256}
+    np.testing.assert_allclose(c.cell, [CDSE_FIG7_BOX] * 3)
+
+
+def test_cdse_min_separation_enforced():
+    c = amorphous_cdse((2, 2, 2), displacement=0.4, min_separation=3.0, seed=3)
+    d = c.distance_matrix()
+    np.fill_diagonal(d, np.inf)
+    assert d.min() >= 3.0 - 1e-9
+
+
+def test_cdse_deterministic_given_seed():
+    a = amorphous_cdse((2, 2, 2), seed=5)
+    b = amorphous_cdse((2, 2, 2), seed=5)
+    np.testing.assert_allclose(a.positions, b.positions)
+
+
+def test_cdse_zero_displacement_is_crystal():
+    a = amorphous_cdse((2, 2, 2), displacement=0.0)
+    b = amorphous_cdse((2, 2, 2), displacement=0.0, seed=99)
+    np.testing.assert_allclose(a.positions, b.positions)
+
+
+# ---- water ------------------------------------------------------------------
+
+def test_water_molecule_geometry():
+    w = water_molecule()
+    assert w.symbols == ["O", "H", "H"]
+    assert w.distance(0, 1) == pytest.approx(OH_BOND)
+    assert w.distance(0, 2) == pytest.approx(OH_BOND)
+
+
+def test_water_box_counts():
+    w = water_box(17, seed=1)
+    assert len(w) == 3 * 17
+    assert w.counts() == {"O": 17, "H": 34}
+
+
+def test_water_box_molecules_intact():
+    w = water_box(8, seed=2)
+    for m in range(8):
+        o, h1, h2 = 3 * m, 3 * m + 1, 3 * m + 2
+        assert w.distance(o, h1) == pytest.approx(OH_BOND, rel=1e-6)
+        assert w.distance(o, h2) == pytest.approx(OH_BOND, rel=1e-6)
+
+
+def test_water_box_respects_exclusion():
+    cell = np.array([40.0, 40.0, 40.0])
+    w = water_box(
+        10,
+        seed=0,
+        exclusion_centers=cell / 2,
+        exclusion_radius=10.0,
+        cell=cell,
+    )
+    oxygens = w.positions[::3]
+    d = np.linalg.norm(
+        (oxygens - cell / 2) - cell * np.round((oxygens - cell / 2) / cell), axis=1
+    )
+    # molecules are jittered around sites; allow a small margin
+    assert d.min() > 10.0 - 2.0
+
+
+def test_water_box_invalid_count():
+    with pytest.raises(ValueError):
+        water_box(0)
+
+
+# ---- LiAl -------------------------------------------------------------------
+
+def test_lial_nanoparticle_composition():
+    p = lial_nanoparticle(30)
+    assert p.counts() == {"Li": 30, "Al": 30}
+
+
+def test_lial_nanoparticle_compact():
+    p = lial_nanoparticle(30)
+    r = particle_radius(p)
+    # 60 atoms should fit well inside ~3 lattice constants
+    from repro.systems.lialloy import LIAL_LATTICE_CONSTANT
+
+    assert r < 3.0 * LIAL_LATTICE_CONSTANT
+
+
+def test_lial_particle_sizes_monotonic():
+    radii = [particle_radius(lial_nanoparticle(n)) for n in (8, 30, 135)]
+    assert radii[0] < radii[1] < radii[2]
+
+
+def test_lial_in_water_counts():
+    s = lial_in_water(8, n_water=20, seed=0)
+    assert s.counts() == {"Li": 8, "Al": 8, "O": 20, "H": 40}
+
+
+def test_lial_in_water_no_overlap():
+    s = lial_in_water(8, n_water=20, seed=0)
+    d = s.distance_matrix()
+    np.fill_diagonal(d, np.inf)
+    assert d.min() > 1.0  # nothing absurdly overlapping
+
+
+def test_paper_606_atom_system():
+    """Sec. 5.5: Li30Al30 + 182 H2O = 606 atoms."""
+    s = lial_in_water(30, n_water=182, seed=0)
+    assert len(s) == 606
+
+
+# ---- toys -------------------------------------------------------------------
+
+def test_simple_cubic():
+    c = simple_cubic_crystal("Al", (2, 2, 2), 5.0)
+    assert len(c) == 8
+    np.testing.assert_allclose(c.cell, [10.0, 10.0, 10.0])
+
+
+def test_random_gas_min_separation():
+    g = random_gas(["H"] * 12, 14.0, min_separation=2.5, seed=1)
+    d = g.distance_matrix()
+    np.fill_diagonal(d, np.inf)
+    assert d.min() >= 2.5

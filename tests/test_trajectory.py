@@ -1,0 +1,95 @@
+"""Tests for trajectory I/O (XYZ and compressed formats)."""
+
+import numpy as np
+import pytest
+
+from repro.md.trajectory import (
+    CompressedTrajectory,
+    XYZTrajectoryWriter,
+    read_xyz_frame,
+    read_xyz_trajectory,
+    write_xyz_frame,
+)
+from repro.systems import dimer, lial_nanoparticle, water_molecule
+
+
+def test_xyz_roundtrip():
+    cfg = water_molecule(center=(5.0, 5.0, 5.0))
+    text = write_xyz_frame(cfg, comment="step=3")
+    back = read_xyz_frame(text)
+    assert back.symbols == cfg.symbols
+    np.testing.assert_allclose(back.positions, cfg.positions, atol=1e-9)
+    np.testing.assert_allclose(back.cell, cfg.cell)
+
+
+def test_xyz_frame_format():
+    cfg = dimer("H", "O", 2.0)
+    text = write_xyz_frame(cfg)
+    lines = text.splitlines()
+    assert lines[0] == "2"
+    assert 'Lattice="' in lines[1]
+    assert lines[2].startswith("H ")
+    assert lines[3].startswith("O ")
+
+
+def test_xyz_missing_lattice_raises():
+    with pytest.raises(ValueError):
+        read_xyz_frame("1\nno lattice here\nH 0 0 0\n")
+
+
+def test_xyz_truncated_raises():
+    with pytest.raises(ValueError):
+        read_xyz_frame('2\nLattice="10 10 10"\nH 0 0 0\n')
+
+
+def test_multi_frame_trajectory(tmp_path):
+    writer = XYZTrajectoryWriter(tmp_path / "traj.xyz")
+    cfg = dimer("H", "H", 1.4)
+    for step in range(3):
+        cfg.positions[1, 0] += 0.1
+        writer.write(cfg, comment=f"step={step}")
+    assert writer.nframes == 3
+    frames = read_xyz_trajectory((tmp_path / "traj.xyz").read_text())
+    assert len(frames) == 3
+    assert frames[1].positions[1, 0] > frames[0].positions[1, 0]
+
+
+def test_in_memory_trajectory():
+    writer = XYZTrajectoryWriter()
+    writer.write(dimer("H", "H", 1.4))
+    assert writer.nframes == 1
+    assert read_xyz_trajectory(writer.text())[0].natoms == 2
+
+
+def test_compressed_trajectory_roundtrip():
+    particle = lial_nanoparticle(8)
+    traj = CompressedTrajectory(particle.symbols, particle.cell, bits=14)
+    rng = np.random.default_rng(0)
+    frames = []
+    pos = particle.positions.copy()
+    for _ in range(4):
+        pos = pos + rng.normal(0, 0.05, pos.shape)
+        frames.append(pos.copy())
+        traj.append(pos)
+    assert len(traj) == 4
+    bound = particle.cell.max() / 2**15
+    for k in range(4):
+        rec = traj.configuration(k)
+        wrapped = np.mod(frames[k], particle.cell)
+        err = np.abs(rec.positions - wrapped)
+        err = np.minimum(err, particle.cell - err)
+        assert err.max() <= bound + 1e-9
+
+
+def test_compressed_trajectory_atom_count_check():
+    traj = CompressedTrajectory(["H", "H"], [10.0, 10.0, 10.0])
+    with pytest.raises(ValueError):
+        traj.append(np.zeros((3, 3)))
+
+
+def test_compressed_trajectory_ratio():
+    particle = lial_nanoparticle(30)
+    traj = CompressedTrajectory(particle.symbols, particle.cell, bits=12)
+    for _ in range(5):
+        traj.append(particle.positions)
+    assert traj.compression_ratio() > 1.5

@@ -1,0 +1,65 @@
+"""Tests for the hierarchical timer."""
+
+from repro.util.timer import Timer, WallClock
+
+
+class FakeClock(WallClock):
+    def __init__(self):
+        self.t = 0.0
+
+    def now(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def test_section_accumulates():
+    clock = FakeClock()
+    timer = Timer(clock)
+    with timer.section("a"):
+        clock.advance(1.5)
+    with timer.section("a"):
+        clock.advance(0.5)
+    assert timer.total("a") == 2.0
+    assert timer.count("a") == 2
+
+
+def test_unknown_section_is_zero():
+    timer = Timer(FakeClock())
+    assert timer.total("nope") == 0.0
+    assert timer.count("nope") == 0
+
+
+def test_add_external_duration():
+    timer = Timer(FakeClock())
+    timer.add("io", 3.25)
+    assert timer.total("io") == 3.25
+
+
+def test_nested_sections():
+    clock = FakeClock()
+    timer = Timer(clock)
+    with timer.section("outer"):
+        clock.advance(1.0)
+        with timer.section("inner"):
+            clock.advance(2.0)
+    assert timer.total("inner") == 2.0
+    assert timer.total("outer") == 3.0
+
+
+def test_report_lists_all_sections():
+    clock = FakeClock()
+    timer = Timer(clock)
+    with timer.section("scf"):
+        clock.advance(1.0)
+    timer.add("io", 0.1)
+    report = timer.report()
+    assert "scf" in report and "io" in report
+
+
+def test_names_sorted():
+    timer = Timer(FakeClock())
+    timer.add("b", 1.0)
+    timer.add("a", 1.0)
+    assert timer.names() == ["a", "b"]
