@@ -3,22 +3,51 @@
 Every bench prints the rows the paper's table/figure reports and appends
 them to ``benchmarks/results/<name>.txt`` so a full ``pytest benchmarks/
 --benchmark-only`` run leaves a complete paper-vs-measured record behind.
+
+Alongside each text file, :func:`report` now also writes a machine-readable
+``benchmarks/results/BENCH_<name>.json`` record::
+
+    {"bench": "<name>", "title": "...", "lines": [...], "records": [...]}
+
+Pass ``records=[{...}, ...]`` (one dict per measured row) to make the JSON
+useful for downstream tooling; without it the text lines are still carried
+over so every benchmark is machine-readable at least at line granularity.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def report(name: str, title: str, lines: list[str]) -> None:
-    """Print a result block and persist it under benchmarks/results/."""
+def report(
+    name: str,
+    title: str,
+    lines: list[str],
+    records: list[dict] | None = None,
+) -> None:
+    """Print a result block and persist it under benchmarks/results/.
+
+    Writes both ``<name>.txt`` (the human-readable block, unchanged) and
+    ``BENCH_<name>.json`` (a machine-readable record; ``records`` carries
+    one dict per measured row when the benchmark provides them).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     block = [f"=== {title} ==="] + lines + [""]
     text = "\n".join(block)
     print("\n" + text)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    payload = {
+        "bench": name,
+        "title": title,
+        "lines": list(lines),
+        "records": records or [],
+    }
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=1) + "\n"
+    )
 
 
 def fmt_row(*cols, widths=None) -> str:

@@ -24,10 +24,17 @@ def test_table1_threading(benchmark):
     by_key = {(r.nodes, r.threads_per_core): r for r in rows}
     lines = [fmt_row("nodes", "thr/core", "model GF/s", "model %",
                      "paper GF/s", "paper %")]
+    records = []
     for key, (p_gf, p_pct) in PAPER.items():
         r = by_key[key]
         lines.append(fmt_row(key[0], key[1], r.gflops, r.percent_peak, p_gf, p_pct))
-    report("table1_threading", "Table 1 — FLOP/s vs threads", lines)
+        records.append(
+            {"nodes": key[0], "threads_per_core": key[1],
+             "model_gflops": r.gflops, "model_percent_peak": r.percent_peak,
+             "paper_gflops": p_gf, "paper_percent_peak": p_pct}
+        )
+    report("table1_threading", "Table 1 — FLOP/s vs threads", lines,
+           records=records)
 
     # shape claims
     for nodes in (4, 8, 16):

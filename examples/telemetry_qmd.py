@@ -1,0 +1,61 @@
+"""Instrumented QMD run: one trace, one metrics snapshot, one breakdown.
+
+Demonstrates the observability subsystem end-to-end on a tiny LDC-QMD
+trajectory (the acceptance flow of the telemetry PR):
+
+1. thread one ``Instrumentation`` facade through the QMD driver, the LDC
+   engine, the multigrid Poisson solver, and the eigensolvers;
+2. additionally execute the solve on the virtual Blue Gene/Q so the
+   simulated-rank timeline lands in the *same* Chrome trace (pid 2);
+3. write ``telemetry/trace.json`` + ``telemetry/metrics.{json,csv}`` and
+   print the paper-style per-phase breakdown.
+
+Open ``telemetry/trace.json`` in chrome://tracing or https://ui.perfetto.dev
+to see measured spans and predicted rank activity side by side.
+
+Run:  PYTHONPATH=src python examples/telemetry_qmd.py
+"""
+
+from repro.core.ldc import LDCOptions
+from repro.core.parallel_ldc import run_parallel_ldc
+from repro.md.integrator import initialize_velocities
+from repro.md.qmd import LDCEngine, QMDDriver
+from repro.observability import Instrumentation
+from repro.observability.report import phase_breakdown, render_breakdown
+from repro.systems import dimer
+
+
+def main() -> None:
+    config = dimer("H", "H", 1.5, 12.0)
+    initialize_velocities(config, 300.0, seed=0)
+    opts = LDCOptions(
+        ecut=4.0, domains=(2, 1, 1), buffer=1.5, tol=1e-4, max_iter=10,
+        poisson="multigrid",
+    )
+
+    ins = Instrumentation()
+
+    # A short instrumented QMD trajectory (warm-started LDC solves).
+    driver = QMDDriver(LDCEngine(opts), timestep=5.0, instrumentation=ins)
+    driver.run(config, nsteps=2)
+
+    # The same physics on the virtual machine: simulated-rank timeline
+    # merges into the same trace under its own pid.
+    run_parallel_ldc(config, opts, total_ranks=8, instrumentation=ins)
+
+    paths = ins.write_artifacts("telemetry")
+    print(f"artifacts: {', '.join(str(p) for p in paths.values())}\n")
+
+    events = ins.to_chrome_trace()["traceEvents"]
+    print("== measured spans (pid 1) ==")
+    print(render_breakdown(phase_breakdown(events, pid=1), top=8))
+    print("\n== simulated ranks (pid 2) ==")
+    print(render_breakdown(phase_breakdown(events, pid=2)))
+
+    resid = ins.metrics.get("scf.residual", engine="ldc")
+    print(f"\nper-iteration SCF residuals ({len(resid.values)} iterations):")
+    print("  " + "  ".join(f"{r:.2e}" for r in resid.values[:8]) + " ...")
+
+
+if __name__ == "__main__":
+    main()

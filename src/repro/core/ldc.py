@@ -202,17 +202,22 @@ def _solve_domain(
     state: DomainState,
     v_eff_domain: np.ndarray,
     options: LDCOptions,
+    instrumentation=None,
 ) -> None:
     """Solve the domain KS problem in place (updates psi, eigenvalues)."""
     ham = Hamiltonian(state.basis, v_eff_domain, state.vnl)
     if options.eigensolver == "direct":
-        res = solve_direct(ham, state.nband)
+        res = solve_direct(ham, state.nband, instrumentation=instrumentation)
     elif options.eigensolver == "all_band":
         res = solve_all_band(
-            ham, state.psi, max_iter=options.eig_max_iter, tol=options.eig_tol
+            ham, state.psi, max_iter=options.eig_max_iter, tol=options.eig_tol,
+            instrumentation=instrumentation,
         )
     elif options.eigensolver == "band_by_band":
-        res = solve_band_by_band(ham, state.psi, tol=options.eig_tol)
+        res = solve_band_by_band(
+            ham, state.psi, tol=options.eig_tol,
+            instrumentation=instrumentation,
+        )
     else:
         raise ValueError(f"unknown eigensolver {options.eigensolver!r}")
     state.psi = res.orbitals
@@ -225,14 +230,65 @@ def run_ldc(
     compute_forces: bool = False,
     rho0: np.ndarray | None = None,
     grid: RealSpaceGrid | None = None,
+    instrumentation=None,
 ) -> LDCResult:
-    """Run the LDC-DFT (or classic DC-DFT) SCF loop to self-consistency."""
+    """Run the LDC-DFT (or classic DC-DFT) SCF loop to self-consistency.
+
+    ``instrumentation`` optionally accepts an
+    :class:`~repro.observability.Instrumentation`: records per-domain solve
+    spans, per-iteration residual/energy/μ/boundary-error series, and
+    ``poisson.*`` telemetry when the multigrid solver is selected.  The
+    default ``None`` executes no telemetry code.
+    """
     opts = options or LDCOptions()
+    if instrumentation is None:
+        return _run_ldc(config, opts, compute_forces, rho0, grid, None)
+    with instrumentation.span(
+        "ldc.run", category="ldc", natoms=len(config.symbols),
+        mode=opts.mode, domains=str(opts.domains), buffer=opts.buffer,
+    ) as span:
+        result = _run_ldc(
+            config, opts, compute_forces, rho0, grid, instrumentation
+        )
+        span.attrs.update(
+            converged=result.converged, iterations=result.iterations,
+            ndomains=result.n_domains,
+        )
+        instrumentation.log.info(
+            "ldc finished",
+            extra={
+                "engine": "ldc",
+                "mode": opts.mode,
+                "converged": result.converged,
+                "iterations": result.iterations,
+                "energy": result.energy,
+            },
+        )
+    return result
+
+
+def _run_ldc(
+    config: Configuration,
+    opts: LDCOptions,
+    compute_forces: bool,
+    rho0: np.ndarray | None,
+    grid: RealSpaceGrid | None,
+    ins,
+) -> LDCResult:
+    """LDC implementation; ``ins`` is the instrumentation facade or None."""
     if grid is None:
         grid = make_global_grid(config, opts)
     decomp = DomainDecomposition(grid, opts.domains, opts.buffer)
+    if ins is not None:
+        t_setup = ins.tracer.now()
     pou = supports(decomp, opts.support)
     states = _prepare_states(config, decomp, pou, opts)
+    if ins is not None:
+        ins.tracer.record_complete(
+            "ldc.partition_of_unity", ins.tracer.now() - t_setup,
+            category="ldc", ndomains=decomp.ndomains, support=opts.support,
+        )
+        ins.gauge("ldc.domains").set(decomp.ndomains)
 
     n_electrons = config.n_electrons()
     v_loc_global = local_potential(grid, config)
@@ -241,7 +297,11 @@ def run_ldc(
     rho = initial_density(grid, config) if rho0 is None else rho0.copy()
     rho = renormalize(rho, n_electrons, grid.dv)
 
-    mg = MultigridPoisson(grid) if opts.poisson == "multigrid" else None
+    mg = (
+        MultigridPoisson(grid, instrumentation=ins)
+        if opts.poisson == "multigrid"
+        else None
+    )
     vh_prev: np.ndarray | None = None
 
     if opts.mixer == "pulay":
@@ -262,9 +322,11 @@ def run_ldc(
     xi = opts.xi if opts.mode == "ldc" else None
 
     for it in range(1, opts.max_iter + 1):
+        if ins is not None:
+            t_iter = ins.tracer.now()
         mu, rho_out, components, bnd_err = _scf_pass(
             grid, states, rho, v_loc_global, e_ewald, n_electrons,
-            xi, mg, vh_prev, opts,
+            xi, mg, vh_prev, opts, ins,
         )
         vh_prev = components.pop("_vh_field")  # reuse as warm start
         boundary_errors.append(bnd_err)
@@ -272,6 +334,22 @@ def run_ldc(
         resid = grid.integrate(np.abs(rho_out - rho)) / max(n_electrons, 1.0)
         residuals.append(resid)
         history.append(components["total"])
+        if ins is not None:
+            ins.counter("scf.iterations", engine="ldc").inc()
+            ins.series("scf.residual", engine="ldc").append(resid)
+            ins.series("scf.energy", engine="ldc").append(components["total"])
+            ins.series("scf.mu", engine="ldc").append(mu)
+            ins.series("ldc.boundary_error").append(bnd_err)
+            ins.tracer.record_complete(
+                "ldc.iteration", ins.tracer.now() - t_iter, category="ldc",
+                iteration=it, residual=resid, boundary_error=bnd_err,
+            )
+            ins.log.debug(
+                "ldc iteration",
+                extra={"engine": "ldc", "iteration": it, "residual": resid,
+                       "energy": components["total"], "mu": mu,
+                       "boundary_error": bnd_err},
+            )
         if resid < opts.tol:
             rho = rho_out
             converged = True
@@ -283,7 +361,7 @@ def run_ldc(
     # Final consistent evaluation at the converged density.
     mu, rho_final, components, bnd_err = _scf_pass(
         grid, states, rho, v_loc_global, e_ewald, n_electrons,
-        xi, mg, vh_prev, opts,
+        xi, mg, vh_prev, opts, ins,
     )
     components.pop("_vh_field")
     rho_final = renormalize(np.clip(rho_final, 0.0, None), n_electrons, grid.dv)
@@ -320,6 +398,7 @@ def _scf_pass(
     mg: MultigridPoisson | None,
     vh_warm: np.ndarray | None,
     opts: LDCOptions,
+    ins=None,
 ) -> tuple[float, np.ndarray, dict[str, float], float]:
     """One global-local pass: potentials → domain solves → μ → density.
 
@@ -339,7 +418,7 @@ def _scf_pass(
     bnd_err_total = 0.0
     n_active = 0
 
-    for state in states:
+    for idom, state in enumerate(states):
         if state.nband == 0:
             continue
         dom = state.domain
@@ -358,7 +437,14 @@ def _scf_pass(
             state.vbc = (
                 1.0 - opts.vbc_damping
             ) * state.vbc + opts.vbc_damping * vbc_target
-        _solve_domain(state, v_dom + state.vbc, opts)
+        if ins is None:
+            _solve_domain(state, v_dom + state.vbc, opts)
+        else:
+            with ins.span(
+                "ldc.domain_solve", category="ldc", domain=idom,
+                natoms=len(state.atom_indices), nband=state.nband,
+            ):
+                _solve_domain(state, v_dom + state.vbc, opts, ins)
 
         fields = state.basis.to_grid(state.psi)  # (nband, *domain shape)
         densities = np.abs(fields) ** 2  # per-band |ψ|²(r)
@@ -369,15 +455,20 @@ def _scf_pass(
         all_eigs.append(state.eigenvalues)
         all_weights.append(w)
         if state.rho_local is not None:
-            bnd_err_total += boundary_error_norm(
+            err = boundary_error_norm(
                 state.rho_local, rho_restricted, dom.grid.dv
             )
+            bnd_err_total += err
             n_active += 1
+            if ins is not None:
+                ins.series("ldc.boundary_error", domain=idom).append(err)
 
     eigs_cat = np.concatenate(all_eigs)
     w_cat = np.concatenate(all_weights)
     mu = find_chemical_potential(eigs_cat, n_electrons, opts.kt, weights=w_cat)
 
+    if ins is not None:
+        t_asm = ins.tracer.now()
     rho_new = np.zeros(grid.shape)
     rho_locals: list[np.ndarray] = []
     vbcs: list[np.ndarray] = []
@@ -395,6 +486,11 @@ def _scf_pass(
         rho_locals.append(rho_a)
         vbcs.append(state.vbc)
         sup_list.append(state.support)
+    if ins is not None:
+        ins.tracer.record_complete(
+            "ldc.assemble_density", ins.tracer.now() - t_asm,
+            category="ldc", ndomains=len(rho_locals),
+        )
 
     band_e = dc_band_energy(
         [s.eigenvalues for s in states if s.nband],

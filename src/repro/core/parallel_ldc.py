@@ -59,6 +59,7 @@ def run_parallel_ldc(
     machine: MachineSpec = BLUE_GENE_Q,
     threads_per_core: int = 4,
     cg_per_scf: int = 3,
+    instrumentation=None,
 ) -> ParallelLDCResult:
     """Execute LDC-DFT and charge its phases to a virtual machine.
 
@@ -69,11 +70,16 @@ def run_parallel_ldc(
         ``min(total_ranks, ndomains)`` groups; larger ranks-per-domain
         accelerate the domain solves (with the intra-domain all-to-all and
         Cholesky costs of Sec. 3.3 growing accordingly).
+    instrumentation:
+        Optional :class:`~repro.observability.Instrumentation`; the real
+        solve is instrumented as usual and the simulated-rank timeline is
+        attached to the same Chrome-trace export (under its own pid), so
+        measured spans and predicted rank activity render in one viewer.
     """
     if total_ranks < 1:
         raise ValueError("total_ranks must be >= 1")
     opts = options or LDCOptions()
-    result = run_ldc(config, opts)
+    result = run_ldc(config, opts, instrumentation=instrumentation)
 
     active = [s for s in result.states if s.nband > 0]
     ndomains = max(len(active), 1)
@@ -143,7 +149,7 @@ def run_parallel_ldc(
         tracker.charge_collective(range(total_ranks), t_tree, rho_bytes, "tree")
         breakdown["tree"] += t_tree
 
-    return ParallelLDCResult(
+    parallel_result = ParallelLDCResult(
         result=result,
         tracker=tracker,
         schedule=schedule,
@@ -151,3 +157,21 @@ def run_parallel_ldc(
         predicted_seconds=tracker.elapsed(),
         breakdown=breakdown,
     )
+    if instrumentation is not None:
+        instrumentation.attach_cost_tracker(tracker)
+        instrumentation.gauge("vm.predicted_seconds").set(
+            parallel_result.predicted_seconds
+        )
+        instrumentation.gauge("vm.imbalance").set(parallel_result.imbalance)
+        instrumentation.gauge("vm.ranks").set(total_ranks)
+        for phase, seconds in breakdown.items():
+            instrumentation.gauge("vm.breakdown", phase=phase).set(seconds)
+        instrumentation.log.info(
+            "virtual machine run",
+            extra={
+                "ranks": total_ranks,
+                "predicted_seconds": parallel_result.predicted_seconds,
+                "imbalance": parallel_result.imbalance,
+            },
+        )
+    return parallel_result

@@ -38,7 +38,9 @@ class EigenResult:
     converged: bool
 
 
-def solve_direct(ham: Hamiltonian, nband: int) -> EigenResult:
+def solve_direct(
+    ham: Hamiltonian, nband: int, instrumentation=None
+) -> EigenResult:
     """Dense-diagonalization reference solver."""
     if nband > ham.basis.npw:
         raise ValueError(
@@ -46,12 +48,43 @@ def solve_direct(ham: Hamiltonian, nband: int) -> EigenResult:
         )
     h = ham.dense()
     evals, evecs = np.linalg.eigh(h)
-    return EigenResult(
+    result = EigenResult(
         eigenvalues=evals[:nband].copy(),
         orbitals=np.ascontiguousarray(evecs[:, :nband]),
         iterations=1,
         residual_norm=0.0,
         converged=True,
+    )
+    if instrumentation is not None:
+        _record_solve(instrumentation, "direct", ham, result)
+    return result
+
+
+def _record_solve(ins, solver: str, ham: Hamiltonian, result: EigenResult) -> None:
+    """Telemetry for one eigensolve (shared by all three solvers).
+
+    Recorded once per solve — never inside the CG inner loop — so enabling
+    instrumentation does not perturb the BLAS2/BLAS3 hot paths it measures.
+    """
+    ins.counter("eigensolver.solves", solver=solver).inc()
+    ins.counter("eigensolver.iterations", solver=solver).inc(result.iterations)
+    ins.histogram("eigensolver.iterations_per_solve", solver=solver).observe(
+        result.iterations
+    )
+    ins.histogram("eigensolver.residual", solver=solver).observe(
+        result.residual_norm
+    )
+    if not result.converged:
+        ins.counter("eigensolver.unconverged", solver=solver).inc()
+    ins.log.debug(
+        "eigensolve done",
+        extra={
+            "solver": solver,
+            "npw": ham.basis.npw,
+            "nband": result.orbitals.shape[1],
+            "iterations": result.iterations,
+            "residual": result.residual_norm,
+        },
     )
 
 
@@ -64,6 +97,7 @@ def solve_all_band(
     psi0: np.ndarray,
     max_iter: int = 60,
     tol: float = 1e-8,
+    instrumentation=None,
 ) -> EigenResult:
     """Locally optimal block preconditioned CG over all bands at once.
 
@@ -72,6 +106,18 @@ def solve_all_band(
     The Rayleigh–Ritz solves and orthonormalizations are the Cholesky-based
     scheme of Sec. 3.3.
     """
+    result = _solve_all_band(ham, psi0, max_iter, tol)
+    if instrumentation is not None:
+        _record_solve(instrumentation, "all_band", ham, result)
+    return result
+
+
+def _solve_all_band(
+    ham: Hamiltonian,
+    psi0: np.ndarray,
+    max_iter: int,
+    tol: float,
+) -> EigenResult:
     x = cholesky_orthonormalize(np.asarray(psi0, dtype=complex))
     nband = x.shape[1]
     hx = ham.apply(x)
@@ -155,6 +201,7 @@ def solve_band_by_band(
     tol: float = 1e-8,
     cg_per_band: int = 5,
     outer_sweeps: int = 12,
+    instrumentation=None,
 ) -> EigenResult:
     """Sequential per-band preconditioned CG (the original BLAS2 scheme).
 
@@ -162,6 +209,19 @@ def solve_band_by_band(
     the bands below it, with ``cg_per_band`` CG steps per sweep and
     ``outer_sweeps`` sweeps with Rayleigh–Ritz rotations between them.
     """
+    result = _solve_band_by_band(ham, psi0, tol, cg_per_band, outer_sweeps)
+    if instrumentation is not None:
+        _record_solve(instrumentation, "band_by_band", ham, result)
+    return result
+
+
+def _solve_band_by_band(
+    ham: Hamiltonian,
+    psi0: np.ndarray,
+    tol: float,
+    cg_per_band: int,
+    outer_sweeps: int,
+) -> EigenResult:
     x = cholesky_orthonormalize(np.asarray(psi0, dtype=complex))
     nband = x.shape[1]
     resid_norm = np.inf

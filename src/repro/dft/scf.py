@@ -131,13 +131,20 @@ def _occupy(eigs: np.ndarray, n_electrons: float, opts: SCFOptions):
     return mu, occupations(opts.smearing, eigs, mu, opts.kt)
 
 
-def _solve(ham: Hamiltonian, psi: np.ndarray, opts: SCFOptions) -> EigenResult:
+def _solve(
+    ham: Hamiltonian, psi: np.ndarray, opts: SCFOptions, instrumentation=None
+) -> EigenResult:
     if opts.eigensolver == "direct":
-        return solve_direct(ham, psi.shape[1])
+        return solve_direct(ham, psi.shape[1], instrumentation=instrumentation)
     if opts.eigensolver == "all_band":
-        return solve_all_band(ham, psi, max_iter=opts.eig_max_iter, tol=opts.eig_tol)
+        return solve_all_band(
+            ham, psi, max_iter=opts.eig_max_iter, tol=opts.eig_tol,
+            instrumentation=instrumentation,
+        )
     if opts.eigensolver == "band_by_band":
-        return solve_band_by_band(ham, psi, tol=opts.eig_tol)
+        return solve_band_by_band(
+            ham, psi, tol=opts.eig_tol, instrumentation=instrumentation
+        )
     raise ValueError(f"unknown eigensolver {opts.eigensolver!r}")
 
 
@@ -147,6 +154,7 @@ def run_scf(
     v_extra: np.ndarray | None = None,
     rho0: np.ndarray | None = None,
     grid: RealSpaceGrid | None = None,
+    instrumentation=None,
 ) -> SCFResult:
     """Run the conventional SCF loop to self-consistency.
 
@@ -163,8 +171,43 @@ def run_scf(
         Optional initial density (e.g. from the previous MD step).
     grid:
         Optional explicit grid (must match ``v_extra``/``rho0``).
+    instrumentation:
+        Optional :class:`~repro.observability.Instrumentation`; records
+        ``scf.*`` spans and per-iteration residual/energy/μ series.  The
+        default ``None`` executes no telemetry code at all.
     """
     opts = options or SCFOptions()
+    if instrumentation is None:
+        return _run_scf(config, opts, v_extra, rho0, grid, None)
+    with instrumentation.span(
+        "scf.run", category="scf", natoms=len(config.symbols),
+        eigensolver=opts.eigensolver, mixer=opts.mixer,
+    ) as span:
+        result = _run_scf(config, opts, v_extra, rho0, grid, instrumentation)
+        span.attrs.update(
+            converged=result.converged, iterations=result.iterations
+        )
+        instrumentation.log.info(
+            "scf finished",
+            extra={
+                "engine": "pw",
+                "converged": result.converged,
+                "iterations": result.iterations,
+                "energy": result.energy,
+            },
+        )
+    return result
+
+
+def _run_scf(
+    config: Configuration,
+    opts: SCFOptions,
+    v_extra: np.ndarray | None,
+    rho0: np.ndarray | None,
+    grid: RealSpaceGrid | None,
+    ins,
+) -> SCFResult:
+    """SCF implementation; ``ins`` is the instrumentation facade or None."""
     if grid is None:
         grid = RealSpaceGrid.for_cutoff(config.cell, opts.ecut, opts.grid_factor)
     basis = PlaneWaveBasis(grid, opts.ecut)
@@ -200,8 +243,14 @@ def run_scf(
     it = 0
 
     for it in range(1, opts.max_iter + 1):
+        if ins is not None:
+            t_iter = ins.tracer.now()
         ham, vh, vxc = build_hamiltonian(basis, config, rho, v_loc, nonlocal_, v_extra)
-        eig = _solve(ham, psi, opts)
+        if ins is None:
+            eig = _solve(ham, psi, opts)
+        else:
+            with ins.span("scf.eigensolve", category="scf", iteration=it):
+                eig = _solve(ham, psi, opts, ins)
         psi = eig.orbitals
         eigs = eig.eigenvalues
         mu, occs = _occupy(eigs, n_electrons, opts)
@@ -216,6 +265,21 @@ def run_scf(
         )
         history.append(energy)
 
+        if ins is not None:
+            ins.counter("scf.iterations", engine="pw").inc()
+            ins.series("scf.residual", engine="pw").append(resid)
+            ins.series("scf.energy", engine="pw").append(energy)
+            ins.series("scf.mu", engine="pw").append(mu)
+            ins.tracer.record_complete(
+                "scf.iteration", ins.tracer.now() - t_iter, category="scf",
+                iteration=it, residual=resid, energy=energy,
+            )
+            ins.log.debug(
+                "scf iteration",
+                extra={"engine": "pw", "iteration": it,
+                       "residual": resid, "energy": energy, "mu": mu},
+            )
+
         if resid < opts.tol:
             rho = rho_out
             converged = True
@@ -226,7 +290,7 @@ def run_scf(
 
     # Energy evaluated self-consistently at the final density.
     ham, vh, vxc = build_hamiltonian(basis, config, rho, v_loc, nonlocal_, v_extra)
-    eig = _solve(ham, psi, opts)
+    eig = _solve(ham, psi, opts, ins)
     psi = eig.orbitals
     eigs = eig.eigenvalues
     mu, occs = _occupy(eigs, n_electrons, opts)

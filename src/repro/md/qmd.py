@@ -42,19 +42,30 @@ class QMDFrame:
 
 
 class LDCEngine:
-    """Force engine backed by :func:`repro.core.ldc.run_ldc`."""
+    """Force engine backed by :func:`repro.core.ldc.run_ldc`.
 
-    def __init__(self, options=None) -> None:
+    ``instrumentation`` (optional) is threaded into every ``run_ldc`` call;
+    the engine also records warm-start telemetry — whether each solve was
+    seeded with the previous step's density, the QMD trick the paper's
+    time-to-solution numbers depend on.
+    """
+
+    def __init__(self, options=None, instrumentation=None) -> None:
         from repro.core.ldc import LDCOptions
 
         self.options = options or LDCOptions()
+        self.instrumentation = instrumentation
         self._rho = None
 
     def forces(self, config: Configuration):
         from repro.core.ldc import run_ldc
 
+        ins = self.instrumentation
+        if ins is not None:
+            _record_warm_start(ins, "ldc", self._rho is not None)
         result = run_ldc(
-            config, self.options, compute_forces=True, rho0=self._rho
+            config, self.options, compute_forces=True, rho0=self._rho,
+            instrumentation=ins,
         )
         self._rho = result.density
         return result.forces, result.energy, result.iterations
@@ -63,20 +74,33 @@ class LDCEngine:
 class SCFEngine:
     """Force engine backed by the conventional O(N³) SCF."""
 
-    def __init__(self, options=None) -> None:
+    def __init__(self, options=None, instrumentation=None) -> None:
         from repro.dft.scf import SCFOptions
 
         self.options = options or SCFOptions()
+        self.instrumentation = instrumentation
         self._rho = None
 
     def forces(self, config: Configuration):
         from repro.dft.forces import forces_from_scf
         from repro.dft.scf import run_scf
 
-        result = run_scf(config, self.options, rho0=self._rho)
+        ins = self.instrumentation
+        if ins is not None:
+            _record_warm_start(ins, "pw", self._rho is not None)
+        result = run_scf(
+            config, self.options, rho0=self._rho, instrumentation=ins
+        )
         self._rho = result.density
         f = forces_from_scf(config, result)
         return f, result.energy, result.iterations
+
+
+def _record_warm_start(ins, engine: str, warm: bool) -> None:
+    """Count cold vs density-warm-started electronic solves."""
+    ins.counter(
+        "qmd.solves", engine=engine, start="warm" if warm else "cold"
+    ).inc()
 
 
 class QMDDriver:
@@ -88,10 +112,22 @@ class QMDDriver:
         timestep: float,
         thermostat=None,
         record_positions: bool = False,
+        instrumentation=None,
     ) -> None:
         self.engine = engine
         self.thermostat = thermostat
         self.record_positions = record_positions
+        #: optional Instrumentation facade; records a ``qmd.step`` span and
+        #: per-step SCF-iteration/temperature/energy series.  If the engine
+        #: has no instrumentation of its own, the driver's is shared so the
+        #: whole stack writes one timeline.
+        self.instrumentation = instrumentation
+        if (
+            instrumentation is not None
+            and getattr(engine, "instrumentation", None) is None
+            and hasattr(engine, "instrumentation")
+        ):
+            engine.instrumentation = instrumentation
         self._scf_iters_last = 0
         self.integrator = VelocityVerlet(self._forces_wrapper, timestep)
         self.frames: list[QMDFrame] = []
@@ -103,24 +139,46 @@ class QMDDriver:
 
     def run(self, config: Configuration, nsteps: int) -> list[QMDFrame]:
         """Advance ``nsteps``; returns (and accumulates) the recorded frames."""
+        ins = self.instrumentation
         for step in range(nsteps):
             self._scf_iters_last = 0
-            self.integrator.step(config)
-            if self.thermostat is not None:
-                self.thermostat.apply(config)
-            self.frames.append(
-                QMDFrame(
-                    step=len(self.frames),
-                    potential_energy=self.integrator.potential_energy,
-                    kinetic_energy=kinetic_energy(config),
-                    temperature=temperature(config),
-                    scf_iterations=self._scf_iters_last,
-                    positions=config.positions.copy()
-                    if self.record_positions
-                    else None,
-                )
+            if ins is None:
+                self._advance(config)
+            else:
+                with ins.span(
+                    "qmd.step", category="qmd", step=len(self.frames)
+                ) as span:
+                    self._advance(config)
+                    span.attrs["scf_iterations"] = self._scf_iters_last
+            frame = QMDFrame(
+                step=len(self.frames),
+                potential_energy=self.integrator.potential_energy,
+                kinetic_energy=kinetic_energy(config),
+                temperature=temperature(config),
+                scf_iterations=self._scf_iters_last,
+                positions=config.positions.copy()
+                if self.record_positions
+                else None,
             )
+            self.frames.append(frame)
+            if ins is not None:
+                ins.series("qmd.scf_iterations").append(frame.scf_iterations)
+                ins.series("qmd.temperature").append(frame.temperature)
+                ins.series("qmd.total_energy").append(frame.total_energy)
+                ins.counter("qmd.steps").inc()
+                ins.log.debug(
+                    "qmd step",
+                    extra={"step": frame.step,
+                           "scf_iterations": frame.scf_iterations,
+                           "temperature": frame.temperature,
+                           "total_energy": frame.total_energy},
+                )
         return self.frames
+
+    def _advance(self, config: Configuration) -> None:
+        self.integrator.step(config)
+        if self.thermostat is not None:
+            self.thermostat.apply(config)
 
     def total_scf_iterations(self) -> int:
         """Total SCF iterations over the trajectory — the paper's 129,208 for

@@ -62,12 +62,15 @@ class MultigridPoisson:
         pre_sweeps: int = 2,
         post_sweeps: int = 2,
         min_size: int = 4,
+        instrumentation=None,
     ) -> None:
         self.grid = grid
         self.hierarchy = GridHierarchy(grid.lengths, grid.shape, min_size)
         self.pre_sweeps = pre_sweeps
         self.post_sweeps = post_sweeps
         self.last_stats: MGStats | None = None
+        #: optional Instrumentation facade; records ``poisson.*`` telemetry
+        self.instrumentation = instrumentation
 
     # -- public API -----------------------------------------------------------
 
@@ -83,6 +86,9 @@ class MultigridPoisson:
         ``v0`` (e.g. the previous SCF iteration's potential) warm-starts the
         cycle — the standard QMD trick for O(1) cycles per step.
         """
+        ins = self.instrumentation
+        if ins is not None:
+            t0 = ins.tracer.now()
         rhs = -4.0 * np.pi * (rho - float(np.mean(rho)))
         u = np.zeros_like(rhs) if v0 is None else v0 - float(np.mean(v0))
         rhs_norm = float(np.linalg.norm(rhs)) or 1.0
@@ -99,6 +105,21 @@ class MultigridPoisson:
                 converged = True
                 break
         self.last_stats = MGStats(cycles, norms, converged)
+        if ins is not None:
+            ins.counter("poisson.vcycles").inc(cycles)
+            ins.counter("poisson.solves").inc()
+            ins.series("poisson.residual").extend(norms)
+            ins.gauge("poisson.warm_start").set(0.0 if v0 is None else 1.0)
+            ins.tracer.record_complete(
+                "poisson.solve", ins.tracer.now() - t0, category="poisson",
+                cycles=cycles, converged=converged,
+                warm_start=v0 is not None,
+            )
+            ins.log.debug(
+                "multigrid solve",
+                extra={"cycles": cycles, "converged": converged,
+                       "final_residual": norms[-1] if norms else None},
+            )
         return u
 
     # -- internals --------------------------------------------------------------

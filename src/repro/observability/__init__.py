@@ -1,0 +1,58 @@
+"""Unified telemetry: structured tracing, metrics, and logging.
+
+The subsystem has four layers, all usable independently but designed to be
+consumed together through the :class:`Instrumentation` facade:
+
+* :mod:`repro.observability.tracer` — nested wall-clock *spans* (a span is a
+  named, attributed interval), exportable as a flat table or as Chrome
+  ``trace_event`` JSON for ``chrome://tracing`` / Perfetto;
+* :mod:`repro.observability.metrics` — a registry of labeled counters,
+  gauges, histograms, and time-ordered series (e.g. the per-iteration SCF
+  residual), with JSON/CSV snapshot export;
+* :mod:`repro.observability.logs` — stdlib ``logging`` under the ``repro.*``
+  namespace with an optional JSON formatter, silent by default;
+* :mod:`repro.observability.instrumentation` — the facade the drivers accept
+  as an optional parameter.  Passing ``None`` (the default) keeps every hot
+  loop entirely instrumentation-free.
+
+Span/metric naming convention: dotted ``subsystem.thing`` names
+(``scf.residual``, ``ldc.domain_solve``, ``poisson.vcycles``), with
+key=value labels for series dimensions (``scf.iterations{engine=ldc}``).
+
+The report CLI renders a paper-style per-phase breakdown from a trace::
+
+    python -m repro.observability.report trace.json
+"""
+
+from repro.observability.cost_trace import (
+    chrome_events_from_cost_tracker,
+    chrome_trace_from_cost_tracker,
+)
+from repro.observability.instrumentation import Instrumentation
+from repro.observability.logs import configure_logging, get_logger
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import Span, SpanTracer
+
+__all__ = [
+    "Instrumentation",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "chrome_events_from_cost_tracker",
+    "chrome_trace_from_cost_tracker",
+    "configure_logging",
+    "get_logger",
+    "phase_breakdown",
+    "render_breakdown",
+]
+
+
+def __getattr__(name):
+    # ``report`` is lazy so that ``python -m repro.observability.report``
+    # does not import it twice (runpy warns when the module already sits
+    # in sys.modules via the package import).
+    if name in ("phase_breakdown", "render_breakdown"):
+        from repro.observability import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

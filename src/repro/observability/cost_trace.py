@@ -1,0 +1,75 @@
+"""Chrome-trace export for the virtual machine's :class:`CostTracker`.
+
+The simulated-rank event log records, at charge time, each participant's
+virtual start/end times (:attr:`TraceEvent.rank_starts` /
+:attr:`TraceEvent.rank_ends`).  This module renders that log as Chrome
+``trace_event`` complete events — one timeline lane (``tid``) per simulated
+rank, under a dedicated ``pid`` — so predicted rank timelines and *real*
+wall-clock spans from the :class:`~repro.observability.tracer.SpanTracer`
+render side by side in one ``chrome://tracing`` / Perfetto view.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: pid for simulated-rank lanes (real spans use tracer.TRACE_PID = 1)
+COST_TRACE_PID = 2
+
+
+def chrome_events_from_cost_tracker(
+    tracker, pid: int = COST_TRACE_PID
+) -> list[dict[str, Any]]:
+    """One ``"X"`` event per (event, participating rank), µs units."""
+    events: list[dict[str, Any]] = []
+    for e in tracker.events:
+        ranks = e.participants(tracker.nranks)
+        starts = e.rank_starts
+        ends = e.rank_ends
+        if starts is None or ends is None:
+            # Legacy event without recorded times: place at t=0.
+            starts = (0.0,) * len(ranks)
+            ends = (e.seconds,) * len(ranks)
+        for rank, t0, t1 in zip(ranks, starts, ends):
+            events.append(
+                {
+                    "name": e.label,
+                    "cat": e.kind,
+                    "ph": "X",
+                    "ts": t0 * 1e6,
+                    "dur": (t1 - t0) * 1e6,
+                    "pid": pid,
+                    "tid": int(rank),
+                    "args": {"kind": e.kind, "nbytes": e.nbytes},
+                }
+            )
+    # Name the process and lanes so the viewer reads "virtual machine".
+    meta: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "virtual machine (simulated ranks)"},
+        }
+    ]
+    for rank in range(tracker.nranks):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": int(rank),
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    return meta + events
+
+
+def chrome_trace_from_cost_tracker(
+    tracker, pid: int = COST_TRACE_PID
+) -> dict[str, Any]:
+    return {
+        "traceEvents": chrome_events_from_cost_tracker(tracker, pid=pid),
+        "displayTimeUnit": "ms",
+    }

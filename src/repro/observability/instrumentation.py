@@ -1,0 +1,129 @@
+"""The ``Instrumentation`` facade the drivers accept.
+
+Bundles a :class:`~repro.observability.tracer.SpanTracer`, a
+:class:`~repro.observability.metrics.MetricsRegistry`, and a ``repro.*``
+logger behind one object, threaded as an *optional* parameter through the
+hot drivers (``run_scf``, ``run_ldc``, ``QMDDriver``, ...).
+
+The contract is: **``None`` means off, and off costs nothing.**  Drivers
+guard every telemetry statement with ``if instrumentation is not None``,
+so the default path executes zero observability code — a property enforced
+by a regression test (``tests/test_instrumentation_overhead.py``).
+
+Typical use::
+
+    from repro.observability import Instrumentation
+
+    ins = Instrumentation()
+    result = run_ldc(config, opts, instrumentation=ins)
+    ins.write_artifacts("out/")   # trace.json + metrics.json + metrics.csv
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import pathlib
+from typing import Any
+
+from repro.observability.logs import get_logger
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+from repro.observability.tracer import SpanTracer
+from repro.util.timer import WallClock
+
+
+class Instrumentation:
+    """Tracer + metrics + logger bundle.
+
+    Parameters
+    ----------
+    tracer, metrics:
+        Pre-built components to share between instrumentations (e.g. one
+        registry across several engines); fresh ones are created by default.
+    logger:
+        A stdlib logger; defaults to the ``repro`` namespace root.
+    clock:
+        Injectable clock used for a default-constructed tracer.
+    """
+
+    def __init__(
+        self,
+        tracer: SpanTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        logger: logging.Logger | None = None,
+        clock: WallClock | None = None,
+    ) -> None:
+        self.tracer = tracer or SpanTracer(clock=clock)
+        self.metrics = metrics or MetricsRegistry()
+        self.log = logger or get_logger()
+        #: extra Chrome-trace events merged into exports (e.g. simulated-rank
+        #: timelines attached via :meth:`attach_cost_tracker`)
+        self.extra_chrome_events: list[dict[str, Any]] = []
+
+    # -- tracing -------------------------------------------------------------
+
+    def span(self, name: str, category: str = "", **attrs: Any):
+        return self.tracer.span(name, category=category, **attrs)
+
+    # -- metrics shortcuts ---------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self.metrics.histogram(name, **labels)
+
+    def series(self, name: str, **labels: Any) -> Series:
+        return self.metrics.series(name, **labels)
+
+    # -- virtual-machine timelines ------------------------------------------
+
+    def attach_cost_tracker(self, tracker, pid: int | None = None) -> None:
+        """Merge a :class:`CostTracker`'s simulated-rank timeline into the
+        Chrome-trace export, alongside the real wall-clock spans."""
+        from repro.observability.cost_trace import (
+            COST_TRACE_PID,
+            chrome_events_from_cost_tracker,
+        )
+
+        self.extra_chrome_events.extend(
+            chrome_events_from_cost_tracker(
+                tracker, pid=COST_TRACE_PID if pid is None else pid
+            )
+        )
+
+    # -- export --------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        trace = self.tracer.to_chrome_trace()
+        trace["traceEvents"] = trace["traceEvents"] + self.extra_chrome_events
+        return trace
+
+    def write_trace(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1)
+
+    def write_artifacts(self, outdir) -> dict[str, pathlib.Path]:
+        """Write ``trace.json``, ``metrics.json``, ``metrics.csv``; returns
+        the artifact paths keyed by name."""
+        out = pathlib.Path(outdir)
+        out.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "trace": out / "trace.json",
+            "metrics_json": out / "metrics.json",
+            "metrics_csv": out / "metrics.csv",
+        }
+        self.write_trace(paths["trace"])
+        self.metrics.write_snapshot(
+            json_path=paths["metrics_json"], csv_path=paths["metrics_csv"]
+        )
+        return paths

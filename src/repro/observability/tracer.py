@@ -1,0 +1,257 @@
+"""Structured span tracing.
+
+A *span* is a named wall-clock interval with attributes.  Spans nest: the
+tracer keeps a per-thread stack of open spans, so a span opened inside
+another records the enclosing span as its parent and its full ``/``-joined
+path (``scf.run/scf.iteration/scf.eigensolve``).  Timestamps come from the
+injectable :class:`~repro.util.timer.WallClock`, so tests can drive a fake
+clock deterministically.
+
+Export targets:
+
+* :meth:`SpanTracer.spans_table` — a flat list of dicts (one row per span);
+* :meth:`SpanTracer.to_chrome_trace` — the Chrome ``trace_event`` JSON
+  object format (complete ``"X"`` events, microsecond units) that loads
+  directly in ``chrome://tracing`` and Perfetto.
+
+The tracer is thread-safe: concurrent threads record into per-thread stacks
+and append finished spans under a lock.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.util.timer import WallClock
+
+#: pid used for real (measured) spans in Chrome traces; simulated-rank
+#: timelines from the virtual machine use a different pid so both render
+#: side by side in one viewer (see repro.observability.cost_trace).
+TRACE_PID = 1
+
+
+@dataclass
+class Span:
+    """One finished (or still-open) span."""
+
+    name: str
+    t_start: float
+    t_end: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    path: str = ""
+    thread_id: int = 0
+    category: str = ""
+
+    @property
+    def duration(self) -> float:
+        if self.t_end is None:
+            return 0.0
+        return self.t_end - self.t_start
+
+    @property
+    def root(self) -> str:
+        """Top-level segment of the path (the coarse phase name)."""
+        return self.path.split("/", 1)[0] if self.path else self.name
+
+
+class SpanTracer:
+    """Records nested spans against a monotonic clock."""
+
+    def __init__(self, clock: WallClock | None = None) -> None:
+        self._clock = clock or WallClock()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._finished: list[Span] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, category: str = "", **attrs: Any) -> "_SpanContext":
+        """Open a span as a context manager.
+
+        Attributes passed as keyword arguments are attached to the span;
+        more can be added inside the block via ``span.set(**kw)``.
+        """
+        return _SpanContext(self, name, category, attrs)
+
+    def record_complete(
+        self, name: str, seconds: float, category: str = "", **attrs: Any
+    ) -> Span:
+        """Record an externally measured duration as a finished span."""
+        now = self._clock.now()
+        span = Span(
+            name=name,
+            t_start=now - seconds,
+            t_end=now,
+            attrs=dict(attrs),
+            path=self._path_for(name),
+            thread_id=threading.get_ident(),
+            category=category,
+        )
+        with self._lock:
+            self._finished.append(span)
+        return span
+
+    def now(self) -> float:
+        """The tracer's clock reading (for manual interval measurement)."""
+        return self._clock.now()
+
+    # -- queries ------------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+    def total(self, name: str) -> float:
+        """Total inclusive seconds over spans whose name or path matches."""
+        return sum(
+            s.duration for s in self.spans() if name in (s.name, s.path)
+        )
+
+    def count(self, name: str) -> int:
+        return sum(1 for s in self.spans() if name in (s.name, s.path))
+
+    def names(self) -> list[str]:
+        return sorted({s.name for s in self.spans()})
+
+    def spans_table(self) -> list[dict[str, Any]]:
+        """Flat table: one dict per finished span, JSON-serializable."""
+        return [
+            {
+                "name": s.name,
+                "path": s.path,
+                "category": s.category,
+                "t_start": s.t_start,
+                "t_end": s.t_end,
+                "duration": s.duration,
+                "thread_id": s.thread_id,
+                "attrs": s.attrs,
+            }
+            for s in self.spans()
+        ]
+
+    # -- chrome trace export ------------------------------------------------
+
+    def chrome_events(self, pid: int = TRACE_PID) -> list[dict[str, Any]]:
+        """Spans as Chrome ``trace_event`` complete events (µs units)."""
+        events = []
+        for s in self.spans():
+            if s.t_end is None:
+                continue
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": s.category or s.root,
+                    "ph": "X",
+                    "ts": s.t_start * 1e6,
+                    "dur": s.duration * 1e6,
+                    "pid": pid,
+                    "tid": s.thread_id % 2**31,
+                    "args": _json_safe(s.attrs),
+                }
+            )
+        return events
+
+    def to_chrome_trace(self, pid: int = TRACE_PID) -> dict[str, Any]:
+        return {
+            "traceEvents": self.chrome_events(pid=pid),
+            "displayTimeUnit": "ms",
+        }
+
+    def write_chrome_trace(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1)
+
+    # -- internals -----------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _path_for(self, name: str) -> str:
+        stack = self._stack()
+        if stack:
+            return f"{stack[-1].path}/{name}"
+        return name
+
+    def _enter(self, name: str, category: str, attrs: dict[str, Any]) -> Span:
+        span = Span(
+            name=name,
+            t_start=self._clock.now(),
+            attrs=dict(attrs),
+            path=self._path_for(name),
+            thread_id=threading.get_ident(),
+            category=category,
+        )
+        self._stack().append(span)
+        return span
+
+    def _exit(self, span: Span) -> None:
+        span.t_end = self._clock.now()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # tolerate out-of-order exits
+            stack.remove(span)
+        with self._lock:
+            self._finished.append(span)
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`SpanTracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_attrs", "_span")
+
+    def __init__(self, tracer, name, category, attrs) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._enter(self._name, self._category, self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._exit(self._span)
+
+
+def _json_safe(obj: Any) -> Any:
+    """Coerce attribute values into JSON-serializable primitives."""
+    if isinstance(obj, dict):
+        return {str(k): _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "item"):  # numpy scalars
+        return obj.item()
+    return str(obj)
+
+
+def iter_phase_totals(spans: list[Span]) -> Iterator[tuple[str, float, int]]:
+    """(root-phase, total seconds, count) aggregates over top-level spans.
+
+    Only spans that are roots of their own path are counted, so nested time
+    is not double-charged to the parent phase.
+    """
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for s in spans:
+        if "/" in s.path:
+            continue
+        totals[s.name] = totals.get(s.name, 0.0) + s.duration
+        counts[s.name] = counts.get(s.name, 0) + 1
+    for name in sorted(totals, key=lambda n: -totals[n]):
+        yield name, totals[name], counts[name]

@@ -25,6 +25,15 @@ class TraceEvent:
     seconds: float
     nbytes: float = 0.0
     label: str = ""
+    #: per-participant virtual start/end times (aligned with the expanded
+    #: rank list), recorded at charge time so the event log can be rendered
+    #: as a per-rank timeline (Chrome trace) without replaying the run
+    rank_starts: tuple[float, ...] | None = None
+    rank_ends: tuple[float, ...] | None = None
+
+    def participants(self, nranks: int) -> tuple[int, ...]:
+        """Concrete rank list (expands the ``None`` = all-ranks shorthand)."""
+        return tuple(range(nranks)) if self.ranks is None else self.ranks
 
 
 class CostTracker:
@@ -44,8 +53,15 @@ class CostTracker:
         if seconds < 0:
             raise ValueError("cannot charge negative time")
         idx = self._as_index(ranks)
+        starts = tuple(float(t) for t in np.atleast_1d(self.clocks[idx]))
         self.clocks[idx] += seconds
-        self.events.append(TraceEvent("compute", self._key(ranks), seconds, 0.0, label))
+        ends = tuple(t + seconds for t in starts)
+        self.events.append(
+            TraceEvent(
+                "compute", self._key(ranks), seconds, 0.0, label,
+                rank_starts=starts, rank_ends=ends,
+            )
+        )
 
     def charge_collective(
         self, ranks, seconds: float, nbytes: float = 0.0, label: str = "collective"
@@ -53,9 +69,13 @@ class CostTracker:
         """Synchronize the participants, then advance all of them."""
         idx = self._as_index(ranks)
         sync = float(np.max(self.clocks[idx]))
+        n = len(np.atleast_1d(self.clocks[idx]))
         self.clocks[idx] = sync + seconds
         self.events.append(
-            TraceEvent("collective", self._key(ranks), seconds, nbytes, label)
+            TraceEvent(
+                "collective", self._key(ranks), seconds, nbytes, label,
+                rank_starts=(sync,) * n, rank_ends=(sync + seconds,) * n,
+            )
         )
 
     def charge_p2p(
@@ -66,7 +86,12 @@ class CostTracker:
         ready = max(self.clocks[src], self.clocks[dst])
         self.clocks[src] = ready + seconds
         self.clocks[dst] = ready + seconds
-        self.events.append(TraceEvent("p2p", (src, dst), seconds, nbytes, label))
+        self.events.append(
+            TraceEvent(
+                "p2p", (src, dst), seconds, nbytes, label,
+                rank_starts=(ready, ready), rank_ends=(ready + seconds,) * 2,
+            )
+        )
 
     # -- queries ------------------------------------------------------------------
 
@@ -89,6 +114,15 @@ class CostTracker:
 
     def total_bytes(self) -> float:
         return float(sum(e.nbytes for e in self.events))
+
+    def chrome_trace(self, pid: int | None = None) -> dict:
+        """Event log as a Chrome ``trace_event`` JSON object (one lane per
+        simulated rank) — see :mod:`repro.observability.cost_trace`."""
+        from repro.observability.cost_trace import chrome_trace_from_cost_tracker
+
+        if pid is None:
+            return chrome_trace_from_cost_tracker(self)
+        return chrome_trace_from_cost_tracker(self, pid=pid)
 
     # -- helpers -------------------------------------------------------------------
 

@@ -1,9 +1,17 @@
-"""Lightweight hierarchical timers used by the SCF drivers and benchmarks."""
+"""Lightweight hierarchical timers used by the SCF drivers and benchmarks.
+
+.. deprecated::
+    :class:`Timer` is kept as a thin adapter over
+    :class:`repro.observability.tracer.SpanTracer` so existing benchmarks
+    keep working unchanged.  New driver code should accept an
+    :class:`repro.observability.Instrumentation` facade instead — it
+    provides the same timing plus metrics, logging, and Chrome-trace
+    export.  The underlying tracer is exposed as :attr:`Timer.tracer`.
+"""
 
 from __future__ import annotations
 
 import time
-from collections import defaultdict
 from contextlib import contextmanager
 
 
@@ -23,41 +31,65 @@ class Timer:
         with t.section("scf"):
             ...
         t.total("scf")  # seconds
+
+    With ``hierarchical=True``, nested sections accumulate under their
+    ``parent/child`` path instead of the bare name::
+
+        t = Timer(hierarchical=True)
+        with t.section("scf"):
+            with t.section("eig"):
+                ...
+        t.names()  # ["scf", "scf/eig"]
+
+    Sections are recorded as spans on an internal
+    :class:`~repro.observability.tracer.SpanTracer` (see :attr:`tracer`),
+    so a Timer's measurements can also be exported as a Chrome trace.
     """
 
-    def __init__(self, clock: WallClock | None = None) -> None:
+    def __init__(
+        self, clock: WallClock | None = None, hierarchical: bool = False
+    ) -> None:
+        from repro.observability.tracer import SpanTracer
+
         self._clock = clock or WallClock()
-        self._totals: dict[str, float] = defaultdict(float)
-        self._counts: dict[str, int] = defaultdict(int)
+        self.hierarchical = hierarchical
+        #: the underlying span tracer (chrome-trace exportable)
+        self.tracer = SpanTracer(clock=self._clock)
 
     @contextmanager
     def section(self, name: str):
-        start = self._clock.now()
-        try:
+        with self.tracer.span(name):
             yield
-        finally:
-            self._totals[name] += self._clock.now() - start
-            self._counts[name] += 1
 
     def add(self, name: str, seconds: float) -> None:
         """Record an externally measured duration."""
-        self._totals[name] += seconds
-        self._counts[name] += 1
+        self.tracer.record_complete(name, seconds)
+
+    def _key(self, span) -> str:
+        return span.path if self.hierarchical else span.name
 
     def total(self, name: str) -> float:
-        return self._totals.get(name, 0.0)
+        return sum(
+            s.duration for s in self.tracer.spans() if self._key(s) == name
+        )
 
     def count(self, name: str) -> int:
-        return self._counts.get(name, 0)
+        return sum(1 for s in self.tracer.spans() if self._key(s) == name)
 
     def names(self) -> list[str]:
-        return sorted(self._totals)
+        return sorted({self._key(s) for s in self.tracer.spans()})
 
     def report(self) -> str:
         """Human-readable summary table sorted by descending time."""
-        rows = sorted(self._totals.items(), key=lambda kv: -kv[1])
-        width = max((len(k) for k in self._totals), default=4)
+        totals: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for s in self.tracer.spans():
+            key = self._key(s)
+            totals[key] = totals.get(key, 0.0) + s.duration
+            counts[key] = counts.get(key, 0) + 1
+        rows = sorted(totals.items(), key=lambda kv: -kv[1])
+        width = max((len(k) for k in totals), default=4)
         lines = [f"{'section':<{width}}  {'total[s]':>10}  {'calls':>6}"]
         for name, tot in rows:
-            lines.append(f"{name:<{width}}  {tot:>10.4f}  {self._counts[name]:>6}")
+            lines.append(f"{name:<{width}}  {tot:>10.4f}  {counts[name]:>6}")
         return "\n".join(lines)

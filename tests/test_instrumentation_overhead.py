@@ -1,0 +1,68 @@
+"""Regression test: the disabled-instrumentation path costs nothing.
+
+The drivers' contract is that ``instrumentation=None`` (the default)
+executes *zero* observability code — every telemetry statement sits behind
+an ``if instrumentation is not None`` guard.  We enforce it with
+``sys.setprofile``: during an uninstrumented SCF run, no Python call may
+enter a function defined in ``repro/observability``.
+"""
+
+import sys
+
+import pytest
+
+from repro.dft.scf import SCFOptions, run_scf
+from repro.observability import Instrumentation
+from repro.systems import dimer
+
+OPTS = SCFOptions(ecut=4.0, tol=1e-3, max_iter=4)
+
+
+def _count_observability_calls(fn):
+    counts = {"observability": 0, "total": 0}
+
+    def profiler(frame, event, arg):
+        if event == "call":
+            counts["total"] += 1
+            filename = frame.f_code.co_filename
+            if "observability" in filename:
+                counts["observability"] += 1
+
+    sys.setprofile(profiler)
+    try:
+        result = fn()
+    finally:
+        sys.setprofile(None)
+    return counts, result
+
+
+def test_noop_path_never_enters_observability_code():
+    cfg = dimer("H", "H", 1.5, 12.0)
+    counts, result = _count_observability_calls(lambda: run_scf(cfg, OPTS))
+    assert counts["total"] > 0  # the profiler actually saw the run
+    assert counts["observability"] == 0
+    assert result.iterations > 0
+
+
+def test_enabled_path_does_enter_observability_code():
+    """Sanity check that the counter would catch regressions: the same run
+    with instrumentation enabled must cross into observability code."""
+    cfg = dimer("H", "H", 1.5, 12.0)
+    ins = Instrumentation()
+    counts, _ = _count_observability_calls(
+        lambda: run_scf(cfg, OPTS, instrumentation=ins)
+    )
+    assert counts["observability"] > 0
+    assert len(ins.metrics.get("scf.residual", engine="pw").values) > 0
+
+
+def test_disabled_timer_import_not_triggered_in_hot_loop():
+    """The ``Timer`` adapter (which does allocate spans) must not be on the
+    SCF hot path: the uninstrumented run allocates no Span objects."""
+    from repro.observability.tracer import Span
+
+    cfg = dimer("H", "H", 1.5, 12.0)
+    before = sys.getrefcount(Span)
+    run_scf(cfg, OPTS)
+    after = sys.getrefcount(Span)
+    assert after == before

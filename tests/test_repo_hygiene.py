@@ -48,6 +48,7 @@ def test_public_api_importable():
     import repro.dft
     import repro.md
     import repro.multigrid
+    import repro.observability
     import repro.parallel
     import repro.perfmodel
     import repro.reactive
@@ -57,7 +58,7 @@ def test_public_api_importable():
     for pkg in (
         repro.core, repro.dft, repro.md, repro.multigrid, repro.parallel,
         repro.perfmodel, repro.reactive, repro.systems, repro.util,
-        repro.compression,
+        repro.compression, repro.observability,
     ):
         assert hasattr(pkg, "__all__") or pkg.__doc__
 
@@ -70,6 +71,7 @@ def test_all_public_symbols_resolve():
         "repro.core", "repro.dft", "repro.md", "repro.multigrid",
         "repro.parallel", "repro.perfmodel", "repro.reactive",
         "repro.systems", "repro.util", "repro.compression",
+        "repro.observability",
     ):
         mod = importlib.import_module(mod_name)
         for symbol in getattr(mod, "__all__", []):
