@@ -10,7 +10,6 @@ error is wave-function confinement, which a local boundary *potential*
 cannot remove — DC and LDC perform at parity here (EXPERIMENTS.md §EXP-F7).
 """
 
-import numpy as np
 from _harness import fmt_row, report
 
 from repro.core import LDCOptions, run_ldc

@@ -35,7 +35,7 @@ def _time(fn, *args, repeats=3):
 
 def test_blas3_transformation(benchmark):
     b, d, psi = _problem()
-    t3 = benchmark(lambda: apply_projectors_blas3(b, d, psi))
+    benchmark(lambda: apply_projectors_blas3(b, d, psi))
     t_blas2 = _time(apply_projectors_blas2, b, d, psi)
     t_blas3 = _time(apply_projectors_blas3, b, d, psi)
     speedup = t_blas2 / t_blas3

@@ -5,7 +5,6 @@ on 786,432 cores the read/write times are 9.1 s / 99 s — 0.02% / 0.23% of
 the execution time.
 """
 
-import numpy as np
 from _harness import fmt_row, report
 
 from repro.parallel.collective_io import CollectiveIOModel

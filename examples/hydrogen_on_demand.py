@@ -11,8 +11,6 @@ Reproduces the science-application pipeline at laptop scale:
 Run:  python examples/hydrogen_on_demand.py
 """
 
-import numpy as np
-
 from repro.reactive.analysis import arrhenius_fit, rate_with_error
 from repro.reactive.kmc import KMCOptions, run_kmc
 from repro.reactive.sites import site_census

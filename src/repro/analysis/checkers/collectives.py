@@ -1,0 +1,119 @@
+"""RP005 — SPMD collective mismatch / deadlock detection for VirtualComm code.
+
+In SPMD code every rank must reach every collective: an
+``allreduce``/``bcast``/``split`` that only one branch of a
+rank-conditional executes deadlocks real MPI (and silently desynchronises
+the :class:`~repro.parallel.comm.VirtualComm` cost model).  The paper's
+``MPI_COMM_SPLIT``-per-domain pattern (Sec. 3.3) makes this the dominant
+hang class at scale.
+
+Two patterns:
+
+* **Rank-conditional collectives.**  For each ``if`` whose test depends on
+  a rank-like value (an identifier containing ``rank`` or ``root``), the
+  sets of collective operations invoked in the two branches must match.
+  Nested rank-conditionals are checked independently at every level.
+* **Unmatched point-to-point pairs.**  Within one function, ``.send(...)``
+  and ``.recv(...)`` calls on comm-like receivers must balance.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers._util import (
+    base_name,
+    call_method_name,
+    function_defs,
+    names_in,
+)
+from repro.analysis.engine import Checker, FileContext, Finding, register
+
+COLLECTIVES = {
+    "barrier", "bcast", "reduce", "allreduce", "gather", "allgather",
+    "scatter", "alltoall", "split",
+}
+_RANK_MARKERS = ("rank", "root")
+
+
+def _is_comm_receiver(call: ast.Call) -> bool:
+    """Heuristic: the receiver's root name looks like a communicator."""
+    if not isinstance(call.func, ast.Attribute):
+        return False
+    root = base_name(call.func.value)
+    return root is not None and "comm" in root.lower()
+
+
+def _collective_calls(node: ast.AST) -> set[str]:
+    """Names of collective operations invoked anywhere under ``node``."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            meth = call_method_name(sub)
+            if meth in COLLECTIVES and _is_comm_receiver(sub):
+                out.add(meth)
+    return out
+
+
+def _rank_dependent(test: ast.expr) -> bool:
+    return any(
+        any(marker in name.lower() for marker in _RANK_MARKERS)
+        for name in names_in(test)
+    )
+
+
+@register
+class CollectiveMismatchChecker(Checker):
+    rule = "RP005"
+    name = "collective-mismatch"
+    description = (
+        "rank-conditional branch reaches a collective the other branch "
+        "skips, or unmatched send/recv pairs — an SPMD deadlock"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in function_defs(ctx.tree):
+            yield from self._check_conditionals(ctx, fn)
+            yield from self._check_point_to_point(ctx, fn)
+
+    def _check_conditionals(self, ctx: FileContext, fn) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.If) or not _rank_dependent(node.test):
+                continue
+            in_body = _collective_calls(ast.Module(body=node.body, type_ignores=[]))
+            in_else = _collective_calls(ast.Module(body=node.orelse, type_ignores=[]))
+            only_body = in_body - in_else
+            only_else = in_else - in_body
+            for side, ops in (("true", only_body), ("false", only_else)):
+                if not ops:
+                    continue
+                ops_s = ", ".join(sorted(ops))
+                yield ctx.finding(
+                    node, self.rule,
+                    f"rank-conditional in {fn.name!r}: the {side} branch "
+                    f"calls collective(s) {{{ops_s}}} the other branch "
+                    f"never reaches — ranks taking different branches "
+                    f"deadlock",
+                )
+
+    def _check_point_to_point(self, ctx: FileContext, fn) -> Iterator[Finding]:
+        sends = recvs = 0
+        first: ast.AST | None = None
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            meth = call_method_name(node)
+            if meth in ("send", "recv") and _is_comm_receiver(node):
+                first = first or node
+                if meth == "send":
+                    sends += 1
+                else:
+                    recvs += 1
+        if first is not None and sends != recvs:
+            yield ctx.finding(
+                first, self.rule,
+                f"unmatched point-to-point pairs in {fn.name!r}: "
+                f"{sends} send(s) vs {recvs} recv(s) on comm-like "
+                f"receivers — a lone send/recv blocks forever",
+            )

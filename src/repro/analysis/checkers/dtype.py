@@ -1,0 +1,124 @@
+"""RP001 — silent dtype upcast in numpy hot paths.
+
+Two patterns the BLAS3 discipline of Sec. 3.4 forbids:
+
+* **Ambiguous allocation in a mixed real/complex function.**  A function
+  that manipulates complex data (a ``1j`` literal, ``complex128``/
+  ``complex64``, ``conj``) but allocates arrays with ``np.zeros``/``ones``/
+  ``empty``/``full`` *without* an explicit ``dtype=`` invites a silent
+  float64→complex128 upcast the first time the real buffer meets a complex
+  operand — doubling memory traffic in the hot path and hiding phase
+  information in an accidental cast.
+* **Integer-dtype accumulator fed float updates.**  An array allocated with
+  an integer dtype that is later the target of an augmented assignment with
+  a float-producing right-hand side (a float literal or a true division)
+  either truncates silently or raises a casting error deep in a run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers._util import (
+    base_name,
+    dotted_name,
+    function_defs,
+)
+from repro.analysis.engine import Checker, FileContext, Finding, register
+
+_ALLOCATORS = {"zeros", "ones", "empty", "full"}
+_COMPLEX_ATTRS = {"complex128", "complex64", "conj", "conjugate"}
+_INT_DTYPES = {"int", "int8", "int16", "int32", "int64", "intp", "uint8",
+               "uint16", "uint32", "uint64"}
+
+
+def _is_complex_marker(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, complex):
+        return True
+    if isinstance(node, ast.Attribute) and node.attr in _COMPLEX_ATTRS:
+        return True
+    if isinstance(node, ast.Name) and node.id == "complex":
+        return True
+    return False
+
+
+def _alloc_call(node: ast.AST) -> ast.Call | None:
+    """Return the call node if this is ``np.zeros(...)``-style allocation."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted_name(node.func)
+    parts = name.split(".")
+    if len(parts) == 2 and parts[0] in ("np", "numpy") and parts[1] in _ALLOCATORS:
+        return node
+    return None
+
+
+def _dtype_kwarg(call: ast.Call) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == "dtype":
+            return kw.value
+    return None
+
+
+def _dtype_is_integer(value: ast.expr) -> bool:
+    name = dotted_name(value)
+    return name.split(".")[-1] in _INT_DTYPES
+
+
+def _float_producing(expr: ast.expr) -> bool:
+    """True if the expression obviously produces floats (literal or /)."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return True
+    return False
+
+
+@register
+class DtypeUpcastChecker(Checker):
+    rule = "RP001"
+    name = "silent-dtype-upcast"
+    description = (
+        "numpy allocation without dtype= in a function handling complex "
+        "data, or an integer-dtype accumulator fed float updates"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in function_defs(ctx.tree):
+            has_complex = any(_is_complex_marker(n) for n in ast.walk(fn))
+            int_arrays: dict[str, int] = {}
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    call = _alloc_call(node.value)
+                    target = node.targets[0]
+                    if call is not None and isinstance(target, ast.Name):
+                        dtype = _dtype_kwarg(call)
+                        if dtype is not None and _dtype_is_integer(dtype):
+                            int_arrays[target.id] = node.lineno
+                call = _alloc_call(node)
+                if (
+                    call is not None
+                    and has_complex
+                    and _dtype_kwarg(call) is None
+                ):
+                    yield ctx.finding(
+                        call, self.rule,
+                        f"array allocation without explicit dtype= in "
+                        f"function {fn.name!r} that handles complex data; "
+                        f"a float64 buffer here silently upcasts to "
+                        f"complex128 on first complex operand",
+                    )
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.AugAssign):
+                    continue
+                tgt = base_name(node.target)
+                if tgt in int_arrays and _float_producing(node.value):
+                    yield ctx.finding(
+                        node, self.rule,
+                        f"integer-dtype array {tgt!r} (allocated at line "
+                        f"{int_arrays[tgt]}) receives a float-valued "
+                        f"augmented update; the accumulation truncates or "
+                        f"raises a casting error",
+                    )

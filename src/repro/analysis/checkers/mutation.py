@@ -1,0 +1,140 @@
+"""RP002 — in-place mutation of function-argument arrays without a contract.
+
+A function that writes into an array it received (``param[...] = x``,
+``param += x``, ``param.sort()``) changes its caller's data.  That is fine
+when it is the *contract* — an ``out=`` style parameter, or a function whose
+docstring says it works in place — and a silent aliasing bug otherwise
+(the LDC density assembly and mixers pass large arrays around; an
+undocumented write corrupts a caller's state across SCF iterations).
+
+The contract escapes, in order of precedence:
+
+* the parameter name signals mutability (``out``, ``buf``/``buffer``,
+  ``inout``, or an ``..._out`` suffix);
+* the function docstring documents the mutation (contains "in place",
+  "in-place", "mutates", "updates", or "overwrites").
+
+Augmented assignment to a *bare name* (``n += 1``) is only a caller-visible
+mutation for mutable objects; parameters annotated with immutable scalar
+types (``int``, ``float``, ...) are rebinding locally and are skipped —
+one concrete payoff of the gradual-typing effort.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers._util import (
+    base_name,
+    call_method_name,
+    docstring_of,
+    function_defs,
+    param_names,
+)
+from repro.analysis.engine import Checker, FileContext, Finding, register
+
+_MUTATING_METHODS = {
+    "sort", "fill", "resize", "partition", "append", "extend", "insert",
+    "clear", "update", "remove", "setdefault", "popitem",
+}
+_CONTRACT_WORDS = ("in place", "in-place", "inplace", "mutates", "updates",
+                   "overwrites")
+_CONTRACT_PARAM_MARKERS = ("out", "buf", "buffer", "inout")
+_SCALAR_ANNOTATIONS = {"int", "float", "complex", "bool", "str", "bytes",
+                       "None"}
+
+
+def _scalar_annotated(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameters whose annotation is built only from immutable scalars."""
+    out: set[str] = set()
+    args = fn.args
+    for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        if a.annotation is None:
+            continue
+        names = {
+            n.id for n in ast.walk(a.annotation) if isinstance(n, ast.Name)
+        } | {
+            n.attr for n in ast.walk(a.annotation) if isinstance(n, ast.Attribute)
+        }
+        if names and names <= _SCALAR_ANNOTATIONS:
+            out.add(a.arg)
+    return out
+
+
+def _param_has_contract(name: str) -> bool:
+    low = name.lower()
+    return (
+        low in _CONTRACT_PARAM_MARKERS
+        or low.endswith("_out")
+        or low.startswith("out_")
+        or "buffer" in low
+    )
+
+
+@register
+class ArgumentMutationChecker(Checker):
+    rule = "RP002"
+    name = "argument-mutation"
+    description = (
+        "function mutates an argument (subscript store, augmented "
+        "assignment, or mutating method) without an out=/in-place contract"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in function_defs(ctx.tree):
+            if any(w in docstring_of(fn).lower() for w in _CONTRACT_WORDS):
+                continue
+            params = {
+                p for p in param_names(fn) if not _param_has_contract(p)
+            }
+            if not params:
+                continue
+            # a parameter rebound locally (param = ...) is no longer the
+            # caller's object; stop tracking it from the whole function
+            rebound = {
+                t.id
+                for node in ast.walk(fn)
+                if isinstance(node, ast.Assign)
+                for t in node.targets
+                if isinstance(t, ast.Name)
+            }
+            tracked = params - rebound
+            if not tracked:
+                continue
+            for node in ast.walk(fn):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn:
+                    continue
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Subscript)
+                            and base_name(target) in tracked
+                        ):
+                            yield self._finding(ctx, node, base_name(target), fn)
+                elif isinstance(node, ast.AugAssign):
+                    tgt = node.target
+                    if (
+                        isinstance(tgt, ast.Name)
+                        and tgt.id in tracked
+                        and tgt.id not in _scalar_annotated(fn)
+                    ):
+                        yield self._finding(ctx, node, tgt.id, fn)
+                    elif isinstance(tgt, ast.Subscript) and base_name(tgt) in tracked:
+                        yield self._finding(ctx, node, base_name(tgt), fn)
+                elif isinstance(node, ast.Call):
+                    meth = call_method_name(node)
+                    if meth in _MUTATING_METHODS and isinstance(
+                        node.func, ast.Attribute
+                    ) and isinstance(node.func.value, ast.Name):
+                        recv = node.func.value.id
+                        if recv in tracked:
+                            yield self._finding(ctx, node, recv, fn)
+
+    def _finding(self, ctx: FileContext, node: ast.AST, name: str | None, fn) -> Finding:
+        return ctx.finding(
+            node, self.rule,
+            f"function {fn.name!r} mutates argument {name!r} in place "
+            f"without an out=/inplace contract (rename the parameter or "
+            f"document the mutation in the docstring)",
+        )

@@ -1,0 +1,87 @@
+"""RP003 — mutable default arguments and module-level mutable state.
+
+* A mutable default (``def f(x=[])``, ``={}``, ``=set()``, or a call to
+  ``list``/``dict``/``set``/``np.zeros``...) is evaluated once at import and
+  shared across calls — the classic accumulating-default bug.
+* Module-level *lowercase* names bound to mutable literals are shared
+  mutable state: every import site sees (and can corrupt) the same object,
+  which breaks the functional SPMD model the simulator relies on.
+  UPPER_CASE registries (``SPECIES``, ``SCHEMES``) and dunder lists
+  (``__all__``) are treated as constants-by-convention and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers._util import dotted_name, function_defs
+from repro.analysis.engine import Checker, FileContext, Finding, register
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "deque",
+                         "defaultdict", "Counter", "OrderedDict"}
+_MUTABLE_NP = {"zeros", "ones", "empty", "full", "array", "arange"}
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        parts = name.split(".")
+        if parts[-1] in _MUTABLE_CONSTRUCTORS and len(parts) <= 2:
+            return True
+        if (
+            len(parts) == 2
+            and parts[0] in ("np", "numpy")
+            and parts[1] in _MUTABLE_NP
+        ):
+            return True
+    return False
+
+
+@register
+class MutableStateChecker(Checker):
+    rule = "RP003"
+    name = "shared-mutable-state"
+    description = (
+        "mutable default argument, or lowercase module-level name bound "
+        "to a mutable literal (shared import-time state)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in function_defs(ctx.tree):
+            defaults = list(fn.args.defaults) + [
+                d for d in fn.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    yield ctx.finding(
+                        default, self.rule,
+                        f"mutable default argument in {fn.name!r}; the "
+                        f"object is created once at import and shared "
+                        f"across calls — default to None and construct "
+                        f"inside the body",
+                    )
+        for node in ctx.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None or not _is_mutable_literal(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("__") or name.isupper() or name.upper() == name:
+                    continue  # dunders and UPPER_CASE registries: constants
+                yield ctx.finding(
+                    node, self.rule,
+                    f"module-level mutable state {name!r}: every importer "
+                    f"shares this object; make it UPPER_CASE (constant by "
+                    f"convention), wrap in a factory, or move into a class",
+                )

@@ -1,0 +1,89 @@
+"""RP006 — ``Instrumentation`` hygiene at call sites.
+
+The observability contract (DESIGN.md §8) is: spans are context managers,
+and metric instruments come from the registry.
+
+* **Span without ``with``.**  ``ins.span("x")`` as a bare expression (or
+  any use outside a ``with`` item / ``return`` passthrough) opens a span
+  that is never closed — the trace nests every subsequent event under it.
+* **Instrument constructed off-registry.**  Building ``Counter``/``Gauge``/
+  ``Histogram``/``Series`` directly bypasses the
+  :class:`~repro.observability.metrics.MetricsRegistry`, so the sample
+  never appears in snapshots; call ``ins.counter(...)``/
+  ``registry.gauge(...)`` instead.
+
+The ``repro/observability`` package itself is exempt: it *implements* the
+contract this rule holds call sites to.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers._util import call_method_name, dotted_name
+from repro.analysis.engine import Checker, FileContext, Finding, register
+
+_INSTRUMENT_CLASSES = {"Counter", "Gauge", "Histogram", "Series"}
+
+
+@register
+class TelemetryHygieneChecker(Checker):
+    rule = "RP006"
+    name = "telemetry-hygiene"
+    description = (
+        "span opened outside a with-statement, or a metrics instrument "
+        "constructed directly instead of through the registry"
+    )
+    exempt_paths = ("repro/observability/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        allowed_spans = self._allowed_span_calls(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                call_method_name(node) == "span"
+                and node not in allowed_spans
+            ):
+                yield ctx.finding(
+                    node, self.rule,
+                    "span() used outside a with-statement; the span is "
+                    "never closed and the trace nests everything after it "
+                    "(use `with ins.span(...):`)",
+                )
+            func_name = dotted_name(node.func)
+            if (
+                func_name in _INSTRUMENT_CLASSES
+                and self._imported_from_metrics(ctx.tree, func_name)
+            ):
+                yield ctx.finding(
+                    node, self.rule,
+                    f"{func_name} constructed directly; instruments built "
+                    f"off-registry never appear in metric snapshots — use "
+                    f"the registry/Instrumentation factory methods",
+                )
+
+    @staticmethod
+    def _allowed_span_calls(tree: ast.Module) -> set[ast.Call]:
+        """Span calls that are with-items or return passthroughs."""
+        allowed: set[ast.Call] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call):
+                        allowed.add(item.context_expr)
+            elif isinstance(node, ast.Return) and isinstance(node.value, ast.Call):
+                allowed.add(node.value)
+        return allowed
+
+    @staticmethod
+    def _imported_from_metrics(tree: ast.Module, name: str) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and (
+                node.module.endswith("metrics")
+                or node.module.endswith("observability")
+            ):
+                if any((a.asname or a.name) == name for a in node.names):
+                    return True
+        return False

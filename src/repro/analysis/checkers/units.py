@@ -1,0 +1,78 @@
+"""RP004 — raw numeric literals where ``repro.constants`` symbols exist.
+
+Everything in :mod:`repro` runs in Hartree atomic units and converts at the
+edges through named constants (``HARTREE_TO_EV``, ``BOHR_TO_ANGSTROM``,
+...).  A hand-typed ``27.2114`` or ``0.529177e-10`` duplicates those values
+with private precision: two call sites drift, and a reviewer cannot tell a
+physics constant from a tuning parameter.  The checker matches float
+literals against the constants table *across powers of ten* (so the Bohr
+radius in metres still maps to ``BOHR_TO_ANGSTROM * 1e-10``) with a tight
+relative tolerance, and reports which symbol to use.
+
+``repro/constants.py`` itself is exempt — it is the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Iterator
+
+from repro.analysis.engine import Checker, FileContext, Finding, register
+
+#: symbol name → value.  Kept as literals (not imported from
+#: ``repro.constants``) so the checker works on any source tree and a
+#: drifted table is itself caught by the self-check test.
+KNOWN_CONSTANTS: dict[str, float] = {
+    "HARTREE_TO_EV": 27.211386245988,
+    "BOHR_TO_ANGSTROM": 0.529177210903,
+    "ATU_TO_FS": 2.4188843265857e-2,
+    "KELVIN_TO_HARTREE": 3.1668115634556e-6,
+    "KB_EV": 8.617333262e-5,
+    "AVOGADRO": 6.02214076e23,
+}
+
+_RTOL = 1e-5
+_DECADES = range(-30, 31)
+
+
+def match_constant(value: float) -> tuple[str, int] | None:
+    """Return ``(symbol, decade)`` if ``value ≈ constant * 10**decade``."""
+    if not isinstance(value, float) or value <= 0 or not math.isfinite(value):
+        return None
+    for symbol, const in KNOWN_CONSTANTS.items():
+        ratio = value / const
+        decade = round(math.log10(ratio))
+        if decade not in _DECADES:
+            continue
+        if abs(ratio / (10.0 ** decade) - 1.0) < _RTOL:
+            return symbol, decade
+    return None
+
+
+@register
+class UnitsChecker(Checker):
+    rule = "RP004"
+    name = "raw-unit-literal"
+    description = (
+        "numeric literal duplicates a repro.constants symbol (possibly "
+        "scaled by a power of ten)"
+    )
+    exempt_paths = ("repro/constants.py", "analysis/checkers/units.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            if not isinstance(node.value, float):
+                continue
+            hit = match_constant(node.value)
+            if hit is None:
+                continue
+            symbol, decade = hit
+            scale = "" if decade == 0 else f" * 1e{decade}"
+            yield ctx.finding(
+                node, self.rule,
+                f"raw literal {node.value!r} duplicates "
+                f"repro.constants.{symbol}{scale}; use the named constant",
+            )

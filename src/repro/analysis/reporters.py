@@ -1,0 +1,46 @@
+"""Render analysis findings as text or JSON.
+
+The JSON document is what the CI job consumes::
+
+    {
+      "findings": [...unsuppressed...],
+      "suppressed": [...],
+      "counts": {"RP004": 2, ...},
+      "ok": false
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable
+
+from repro.analysis.engine import Finding, unsuppressed
+
+
+def render_text(findings: Iterable[Finding], show_suppressed: bool = False) -> str:
+    findings = list(findings)
+    active = unsuppressed(findings)
+    shown = findings if show_suppressed else active
+    lines = [f.format() for f in shown]
+    n_sup = len(findings) - len(active)
+    summary = (
+        f"{len(active)} finding(s), {n_sup} suppressed"
+        if findings
+        else "clean: no findings"
+    )
+    return "\n".join(lines + [summary])
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    findings = list(findings)
+    active = unsuppressed(findings)
+    counts = Counter(f.rule for f in active)
+    doc = {
+        "findings": [f.to_dict() for f in active],
+        "suppressed": [f.to_dict() for f in findings if f.suppressed],
+        "counts": dict(sorted(counts.items())),
+        "ok": not active,
+    }
+    return json.dumps(doc, indent=1)

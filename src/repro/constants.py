@@ -43,6 +43,12 @@ HARTREE_TO_KELVIN = 1.0 / KELVIN_TO_HARTREE
 KB_EV = 8.617333262e-5
 """Boltzmann constant in eV per Kelvin."""
 
+AVOGADRO = 6.02214076e23
+"""Avogadro's number (exact, 2019 SI) — converts particle counts to moles."""
+
+BOHR_TO_METER = BOHR_TO_ANGSTROM * 1e-10
+"""One Bohr radius in metres (for macroscopic unit conversions)."""
+
 # The paper's production QMD time step (Sec. 6): 0.242 fs.
 PAPER_TIMESTEP_FS = 0.242
 PAPER_TIMESTEP_ATU = PAPER_TIMESTEP_FS * FS_TO_ATU

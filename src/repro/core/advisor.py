@@ -19,7 +19,6 @@ from repro.core.complexity import (
     crossover_natoms,
     fit_decay_constant,
     optimal_core_length,
-    speedup_factor,
     total_cost,
 )
 

@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.linalg
 
 from repro.core.ldc import LDCResult
 from repro.dft.basis import PlaneWaveBasis

@@ -75,7 +75,7 @@ class Domain:
     def scatter_add_core(
         self, global_field: np.ndarray, domain_field: np.ndarray
     ) -> None:
-        """Add the core part of a domain field into the global field.
+        """Add the core part of a domain field into ``global_field`` in place.
 
         Because cores are non-overlapping and tile the grid, plain assignment
         semantics hold (each global point receives exactly one contribution

@@ -33,7 +33,7 @@ def ldc_forces(config: Configuration, result) -> np.ndarray:
 
 def nonlocal_forces_dc(config: Configuration, result) -> np.ndarray:
     """Nonlocal projector forces assembled from owning domains."""
-    forces = np.zeros((config.natoms, 3))
+    forces = np.zeros((config.natoms, 3), dtype=float)
     decomp = result.decomposition
     owners = [
         decomp.owner_domain(config.positions[i]) for i in range(config.natoms)

@@ -26,6 +26,7 @@ nonlocal projectors use the atoms inside each domain (core + buffer).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -50,6 +51,9 @@ from repro.dft.scf import initial_density
 from repro.dft.xc import lda_xc
 from repro.multigrid.poisson import MultigridPoisson
 from repro.systems.configuration import Configuration
+
+if TYPE_CHECKING:
+    from repro.observability.instrumentation import Instrumentation
 
 
 @dataclass
@@ -124,6 +128,9 @@ class DomainState:
     occupations: np.ndarray | None = None
     rho_local: np.ndarray | None = None
     vbc: np.ndarray | None = None
+    #: per-band |ψ|² fields stashed between the solve and density steps of
+    #: one SCF pass (cleared after assembly to release the memory)
+    band_densities: np.ndarray | None = None
 
 
 @dataclass
@@ -202,7 +209,7 @@ def _solve_domain(
     state: DomainState,
     v_eff_domain: np.ndarray,
     options: LDCOptions,
-    instrumentation=None,
+    instrumentation: Instrumentation | None = None,
 ) -> None:
     """Solve the domain KS problem in place (updates psi, eigenvalues)."""
     ham = Hamiltonian(state.basis, v_eff_domain, state.vnl)
@@ -230,7 +237,7 @@ def run_ldc(
     compute_forces: bool = False,
     rho0: np.ndarray | None = None,
     grid: RealSpaceGrid | None = None,
-    instrumentation=None,
+    instrumentation: Instrumentation | None = None,
 ) -> LDCResult:
     """Run the LDC-DFT (or classic DC-DFT) SCF loop to self-consistency.
 
@@ -273,7 +280,7 @@ def _run_ldc(
     compute_forces: bool,
     rho0: np.ndarray | None,
     grid: RealSpaceGrid | None,
-    ins,
+    ins: Instrumentation | None,
 ) -> LDCResult:
     """LDC implementation; ``ins`` is the instrumentation facade or None."""
     if grid is None:
@@ -304,6 +311,7 @@ def _run_ldc(
     )
     vh_prev: np.ndarray | None = None
 
+    mixer: PulayMixer | LinearMixer
     if opts.mixer == "pulay":
         mixer = PulayMixer(alpha=opts.mix_alpha)
     elif opts.mixer == "linear":
@@ -324,11 +332,10 @@ def _run_ldc(
     for it in range(1, opts.max_iter + 1):
         if ins is not None:
             t_iter = ins.tracer.now()
-        mu, rho_out, components, bnd_err = _scf_pass(
+        mu, rho_out, components, bnd_err, vh_prev = _scf_pass(
             grid, states, rho, v_loc_global, e_ewald, n_electrons,
             xi, mg, vh_prev, opts, ins,
-        )
-        vh_prev = components.pop("_vh_field")  # reuse as warm start
+        )  # vh_prev is reused as the next iteration's Poisson warm start
         boundary_errors.append(bnd_err)
         rho_out = renormalize(np.clip(rho_out, 0.0, None), n_electrons, grid.dv)
         resid = grid.integrate(np.abs(rho_out - rho)) / max(n_electrons, 1.0)
@@ -359,11 +366,10 @@ def _run_ldc(
         )
 
     # Final consistent evaluation at the converged density.
-    mu, rho_final, components, bnd_err = _scf_pass(
+    mu, rho_final, components, bnd_err, _ = _scf_pass(
         grid, states, rho, v_loc_global, e_ewald, n_electrons,
         xi, mg, vh_prev, opts, ins,
     )
-    components.pop("_vh_field")
     rho_final = renormalize(np.clip(rho_final, 0.0, None), n_electrons, grid.dv)
 
     result = LDCResult(
@@ -398,12 +404,12 @@ def _scf_pass(
     mg: MultigridPoisson | None,
     vh_warm: np.ndarray | None,
     opts: LDCOptions,
-    ins=None,
-) -> tuple[float, np.ndarray, dict[str, float], float]:
+    ins: Instrumentation | None = None,
+) -> tuple[float, np.ndarray, dict[str, float], float, np.ndarray]:
     """One global-local pass: potentials → domain solves → μ → density.
 
-    Returns (μ, assembled density, energy components + '_vh_field', mean
-    boundary-density error).
+    Returns (μ, assembled density, energy components, mean boundary-density
+    error, Hartree potential field — the caller's Poisson warm start).
     """
     if mg is not None:
         vh = mg.solve(rho, v0=vh_warm, tol=1e-8)
@@ -446,12 +452,13 @@ def _scf_pass(
             ):
                 _solve_domain(state, v_dom + state.vbc, opts, ins)
 
+        assert state.basis is not None and state.eigenvalues is not None
         fields = state.basis.to_grid(state.psi)  # (nband, *domain shape)
         densities = np.abs(fields) ** 2  # per-band |ψ|²(r)
         # band weights w_αn = ∫ p_α |ψ_n|² dr
         w = np.einsum("nijk,ijk->n", densities, state.support) * dom.grid.dv
         state.band_weights = w
-        state._band_densities = densities  # stashed for the density step
+        state.band_densities = densities  # stashed for the density step
         all_eigs.append(state.eigenvalues)
         all_weights.append(w)
         if state.rho_local is not None:
@@ -474,17 +481,18 @@ def _scf_pass(
     vbcs: list[np.ndarray] = []
     sup_list: list[np.ndarray] = []
     for state in states:
-        if state.nband == 0:
+        if state.nband == 0 or state.band_densities is None:
             continue
         occs = fermi_occupations(state.eigenvalues, mu, opts.kt)
         state.occupations = occs
-        rho_a = np.einsum("n,nijk->ijk", occs, state._band_densities)
+        rho_a = np.einsum("n,nijk->ijk", occs, state.band_densities)
         state.rho_local = rho_a
-        del state._band_densities
+        state.band_densities = None  # release the per-band fields
         ix, iy, iz = state.domain.grid_indices
         np.add.at(rho_new, np.ix_(ix, iy, iz), state.support * rho_a)
         rho_locals.append(rho_a)
-        vbcs.append(state.vbc)
+        if state.vbc is not None:
+            vbcs.append(state.vbc)
         sup_list.append(state.support)
     if ins is not None:
         ins.tracer.record_complete(
@@ -501,6 +509,5 @@ def _scf_pass(
     components = dc_total_energy(
         grid, rho, vh, vxc, band_e, vbc_corr, e_ewald, eigs_cat, w_cat, mu, opts.kt
     )
-    components["_vh_field"] = vh
     mean_err = bnd_err_total / n_active if n_active else 0.0
-    return mu, rho_new, components, mean_err
+    return mu, rho_new, components, mean_err, vh

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dft.hamiltonian import Hamiltonian
-from repro.util.linalg import cholesky_orthonormalize, lowdin_orthonormalize
+from repro.util.linalg import cholesky_orthonormalize
 
 
 @dataclass

@@ -98,7 +98,7 @@ def ewald(
     qtot = float(np.sum(charges))
 
     energy = 0.0
-    forces = np.zeros((n, 3)) if compute_forces else None
+    forces = np.zeros((n, 3), dtype=float) if compute_forces else None
 
     # ---- real-space sum (vectorized over pairs, looped over images) -------
     shifts = _real_space_images(cell, rcut)

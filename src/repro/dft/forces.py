@@ -30,7 +30,7 @@ def local_forces(
     rho_g = grid.fft(rho).ravel()  # density convention: ρ̃(G)
     gv = grid.g_vectors().reshape(-1, 3)
     g2 = grid.g2().ravel()
-    forces = np.zeros((config.natoms, 3))
+    forces = np.zeros((config.natoms, 3), dtype=float)
     # Per-species radial factors are shared; loop over atoms for phases.
     radial_cache: dict[str, np.ndarray] = {}
     for i, symbol in enumerate(config.symbols):
@@ -53,7 +53,7 @@ def nonlocal_forces(
     occupations: np.ndarray,
 ) -> np.ndarray:
     """Forces from the Kleinman–Bylander projectors."""
-    forces = np.zeros((config.natoms, 3))
+    forces = np.zeros((config.natoms, 3), dtype=float)
     if nonlocal_.nproj == 0:
         return forces
     b = nonlocal_.b  # (npw, nproj)
@@ -66,7 +66,9 @@ def nonlocal_forces(
         bcol = b[:, col]
         grad = (1j * gv * bcol.conj()[:, None]).T @ psi  # (3, nband)
         # E = Σ_n f D |o_n|²; dE/dR = 2 D Σ f Re[o* do/dR]
-        dE = 2.0 * d * np.real(np.sum(occ[None, :] * np.conj(overlaps[col])[None, :] * grad, axis=1))
+        dE = 2.0 * d * np.real(
+            np.sum(occ[None, :] * np.conj(overlaps[col])[None, :] * grad, axis=1)
+        )
         forces[atom] -= dE
     return forces
 

@@ -14,6 +14,7 @@ Total free energy:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +38,9 @@ from repro.dft.occupations import (
 from repro.dft.pseudopotential import NonlocalProjectors, local_potential
 from repro.dft.xc import lda_xc
 from repro.systems.configuration import Configuration
+
+if TYPE_CHECKING:
+    from repro.observability.instrumentation import Instrumentation
 
 
 @dataclass
@@ -120,7 +124,9 @@ def build_hamiltonian(
     return Hamiltonian(basis, v_eff, vnl), vh, vxc
 
 
-def _occupy(eigs: np.ndarray, n_electrons: float, opts: SCFOptions):
+def _occupy(
+    eigs: np.ndarray, n_electrons: float, opts: SCFOptions
+) -> tuple[float, np.ndarray]:
     """Chemical potential + occupations under the selected smearing."""
     if opts.smearing == "fermi":
         mu = find_chemical_potential(eigs, n_electrons, opts.kt)
@@ -132,7 +138,10 @@ def _occupy(eigs: np.ndarray, n_electrons: float, opts: SCFOptions):
 
 
 def _solve(
-    ham: Hamiltonian, psi: np.ndarray, opts: SCFOptions, instrumentation=None
+    ham: Hamiltonian,
+    psi: np.ndarray,
+    opts: SCFOptions,
+    instrumentation: Instrumentation | None = None,
 ) -> EigenResult:
     if opts.eigensolver == "direct":
         return solve_direct(ham, psi.shape[1], instrumentation=instrumentation)
@@ -154,7 +163,7 @@ def run_scf(
     v_extra: np.ndarray | None = None,
     rho0: np.ndarray | None = None,
     grid: RealSpaceGrid | None = None,
-    instrumentation=None,
+    instrumentation: Instrumentation | None = None,
 ) -> SCFResult:
     """Run the conventional SCF loop to self-consistency.
 
@@ -205,7 +214,7 @@ def _run_scf(
     v_extra: np.ndarray | None,
     rho0: np.ndarray | None,
     grid: RealSpaceGrid | None,
-    ins,
+    ins: Instrumentation | None,
 ) -> SCFResult:
     """SCF implementation; ``ins`` is the instrumentation facade or None."""
     if grid is None:
@@ -225,6 +234,7 @@ def _run_scf(
     rho = renormalize(rho, n_electrons, grid.dv)
     psi = basis.random_orbitals(nband, seed=opts.seed)
 
+    mixer: PulayMixer | LinearMixer
     if opts.mixer == "pulay":
         mixer = PulayMixer(alpha=opts.mix_alpha)
     elif opts.mixer == "linear":

@@ -17,7 +17,6 @@ import numpy as np
 from repro.dft.grid import RealSpaceGrid
 from repro.multigrid.hierarchy import GridHierarchy
 from repro.multigrid.stencils import (
-    laplacian_periodic,
     redblack_gauss_seidel,
     residual,
 )

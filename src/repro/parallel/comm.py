@@ -13,6 +13,7 @@ Sec. 3.3 (one dedicated communicator per DC domain).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -20,18 +21,41 @@ import numpy as np
 from repro.parallel.topology import TorusTopology
 from repro.parallel.trace import CostTracker
 
+#: Fallback payload estimate (bytes) for opaque python objects — roughly a
+#: small object header + a few slots.  Containers, arrays, scalars, strings,
+#: dataclasses, and ``None`` are all sized explicitly before this applies.
+_OPAQUE_OBJECT_BYTES = 64.0
+
 
 def _nbytes(value: Any) -> float:
-    """Approximate payload size of one rank's value."""
+    """Approximate payload size of one rank's value.
+
+    ``None`` is the "no payload" marker the collectives themselves produce
+    (e.g. non-root entries after :meth:`VirtualComm.reduce`) and costs
+    nothing; dataclass payloads are sized as the sum of their fields.
+    """
+    if value is None:
+        return 0.0
     if isinstance(value, np.ndarray):
         return float(value.nbytes)
     if isinstance(value, (int, float, complex, np.generic)):
         return 8.0
-    if isinstance(value, (list, tuple)):
+    if isinstance(value, (bytes, bytearray)):
+        return float(len(value))
+    if isinstance(value, str):
+        return float(len(value.encode("utf-8")))
+    if isinstance(value, (list, tuple, set, frozenset)):
         return float(sum(_nbytes(v) for v in value))
     if isinstance(value, dict):
         return float(sum(_nbytes(v) for v in value.values()))
-    return 64.0
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return float(
+            sum(
+                _nbytes(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            )
+        )
+    return _OPAQUE_OBJECT_BYTES
 
 
 class VirtualComm:

@@ -13,7 +13,7 @@ the event log supports per-phase breakdowns like the paper's I/O accounting
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

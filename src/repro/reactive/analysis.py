@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.constants import KB_EV
+from repro.constants import AVOGADRO, BOHR_TO_METER, KB_EV
 
 
 @dataclass
@@ -86,7 +86,7 @@ def ph_from_hydroxide(n_hydroxide: int, volume_bohr3: float) -> float:
         raise ValueError("volume must be positive")
     if n_hydroxide <= 0:
         return 7.0
-    liters = volume_bohr3 * (0.529177e-10) ** 3 * 1e3
-    moles = n_hydroxide / 6.02214076e23
+    liters = volume_bohr3 * BOHR_TO_METER**3 * 1e3
+    moles = n_hydroxide / AVOGADRO
     conc = moles / liters
     return float(14.0 + np.log10(conc)) if conc < 1.0 else 14.0

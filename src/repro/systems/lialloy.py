@@ -65,7 +65,10 @@ def lial_nanoparticle(
         reps += 1
     reps = reps + 2  # margin so the sphere never touches the slab edge
     offsets = np.array(
-        [(i, j, k) for i in range(-reps, reps) for j in range(-reps, reps) for k in range(-reps, reps)],
+        [(i, j, k)
+         for i in range(-reps, reps)
+         for j in range(-reps, reps)
+         for k in range(-reps, reps)],
         dtype=float,
     )
     li = (offsets[:, None, :] + _BASIS_LI[None, :, :]).reshape(-1, 3) * lattice_constant

@@ -7,7 +7,9 @@ import numpy as np
 from repro.systems.configuration import Configuration
 
 
-def dimer(symbol_a: str, symbol_b: str, separation: float, cell_edge: float = 16.0) -> Configuration:
+def dimer(
+    symbol_a: str, symbol_b: str, separation: float, cell_edge: float = 16.0
+) -> Configuration:
     """Two atoms separated along x, centered in a cubic box."""
     if separation <= 0:
         raise ValueError("separation must be positive")

@@ -1,0 +1,17 @@
+"""Known-bad fixture for RP001: silent dtype upcasts."""
+
+import numpy as np
+
+
+def phase_accumulate(gv, positions):
+    # allocation without dtype= in a function that handles complex data
+    acc = np.zeros((len(positions), 3))
+    for i, pos in enumerate(positions):
+        acc[i] = np.real(np.exp(-1j * gv @ pos))
+    return acc
+
+
+def histogram_counts(samples):
+    counts = np.zeros(16, dtype=np.int64)
+    counts += 0.5  # float update into an integer accumulator
+    return counts

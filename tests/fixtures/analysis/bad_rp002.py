@@ -1,0 +1,16 @@
+"""Known-bad fixture for RP002: undocumented argument mutation."""
+
+import numpy as np
+
+
+def normalize(rho, dv):
+    """Return the density scaled to unit norm."""
+    rho /= np.sum(rho) * dv  # mutates the caller's array, docstring lies
+    return rho
+
+
+def clamp_edges(field, width):
+    """Zero the boundary shell of a field."""
+    field[:width] = 0.0
+    field[-width:] = 0.0
+    return field

@@ -1,0 +1,13 @@
+"""Known-bad fixture for RP003: shared mutable state."""
+
+# lowercase module-level mutable literal: shared across importers
+seen_events = []
+
+# registry-looking but lowercase, still shared state
+default_cache = {}
+
+
+def record(event, history=[]):  # mutable default argument
+    history.append(event)
+    seen_events.append(event)
+    return history

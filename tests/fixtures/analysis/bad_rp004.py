@@ -1,0 +1,8 @@
+"""Known-bad fixture for RP004: raw copies of repro.constants values."""
+
+
+def band_gap_ev(e_gap_hartree):
+    return e_gap_hartree * 27.211386  # HARTREE_TO_EV, hand-typed
+
+def bohr_radius_m():
+    return 0.529177210903e-10  # BOHR_TO_ANGSTROM * 1e-10

@@ -1,0 +1,14 @@
+"""Known-bad fixture for RP005: SPMD collective mismatches."""
+
+
+def broadcast_parameters(comm, rank, params):
+    if rank == 0:
+        return comm.bcast([params] * comm.size)  # only rank 0 reaches bcast
+    return params
+
+
+def ring_shift(comm, rank, payload):
+    if rank % 2 == 0:
+        comm.send(payload, dest=rank + 1)
+    # odd ranks never post the matching recv
+    return payload

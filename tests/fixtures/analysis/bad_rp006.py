@@ -1,0 +1,14 @@
+"""Known-bad fixture for RP006: telemetry hygiene violations."""
+
+from repro.observability.metrics import Counter
+
+
+def leaky_span(ins):
+    ins.span("scf.iteration")  # opened, never closed: not a with-statement
+    return 0
+
+
+def rogue_counter():
+    c = Counter("scf.iterations", {})  # bypasses the registry
+    c.inc()
+    return c

@@ -1,0 +1,23 @@
+"""Fixture: nested rank-conditionals for RP005.
+
+The outer conditional is unbalanced (the allreduce is only reachable when
+``rank < ngroups``); the inner conditional is *also* unbalanced (``split``
+only on root).  Both levels must be reported independently.
+"""
+
+
+def nested(comm, rank, ngroups, values):
+    if rank < ngroups:
+        if rank == 0:
+            comm.split([0] * comm.size)
+        return comm.allreduce(values)
+    return values
+
+
+def balanced(comm, rank, values):
+    # both branches reach the same collective set: no finding expected
+    if rank == 0:
+        out = comm.allreduce(values)
+    else:
+        out = comm.allreduce(list(values))
+    return out

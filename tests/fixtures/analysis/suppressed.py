@@ -1,0 +1,15 @@
+"""Fixture: every violation carries a matching suppression comment."""
+
+
+def scale_in_place(rho, factor):
+    rho *= factor  # repro: noqa[RP002] caller opts into aliasing here
+    return rho
+
+
+def to_ev(e):
+    return e * 27.211386245988  # repro: noqa[RP004] pinned for the doc example
+
+
+def mixed(comm, rank, x):
+    if rank == 0:  # repro: noqa this line is fully exempt
+        comm.bcast([x] * comm.size)

@@ -1,0 +1,133 @@
+"""Per-rule detection tests against the known-bad fixtures, plus engine
+edge cases: suppression comments, nested rank-conditionals, rule
+selection, and parse-error handling."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import check_file, run_paths, unsuppressed
+from repro.analysis.engine import PARSE_ERROR_RULE, FileContext
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "analysis"
+
+
+def rules_in(path) -> list[str]:
+    return [f.rule for f in unsuppressed(check_file(path))]
+
+
+@pytest.mark.parametrize("rule", ["RP001", "RP002", "RP003", "RP004",
+                                  "RP005", "RP006"])
+def test_each_rule_detects_its_bad_fixture(rule):
+    found = rules_in(FIXTURES / f"bad_{rule.lower()}.py")
+    assert rule in found, f"{rule} missed its own fixture (found: {found})"
+
+
+def test_rp001_flags_both_patterns():
+    findings = unsuppressed(check_file(FIXTURES / "bad_rp001.py"))
+    messages = " | ".join(f.message for f in findings)
+    assert "without explicit dtype=" in messages
+    assert "integer-dtype array" in messages
+
+
+def test_rp002_flags_augassign_and_subscript_store():
+    findings = unsuppressed(check_file(FIXTURES / "bad_rp002.py"))
+    assert len(findings) == 3  # rho /= ..., field[:w] = 0, field[-w:] = 0
+    assert {f.rule for f in findings} == {"RP002"}
+
+
+def test_rp003_flags_default_and_module_state():
+    findings = unsuppressed(check_file(FIXTURES / "bad_rp003.py"))
+    messages = " | ".join(f.message for f in findings)
+    assert "mutable default argument" in messages
+    assert "module-level mutable state" in messages
+    assert len([f for f in findings if f.rule == "RP003"]) == 3
+
+
+def test_rp005_flags_conditional_and_unmatched_p2p():
+    findings = unsuppressed(check_file(FIXTURES / "bad_rp005.py"))
+    messages = " | ".join(f.message for f in findings)
+    assert "rank-conditional" in messages
+    assert "unmatched point-to-point" in messages
+
+
+def test_rp005_nested_rank_conditionals_report_every_level():
+    findings = [
+        f for f in unsuppressed(check_file(FIXTURES / "nested_rank.py"))
+        if f.rule == "RP005"
+    ]
+    # outer `rank < ngroups` (allreduce+split one-sided) and inner
+    # `rank == 0` (split one-sided) are both reported; `balanced` is not.
+    assert len(findings) == 2
+    assert all("rank-conditional" in f.message for f in findings)
+    assert all(f.message.split("'")[1] == "nested" for f in findings)
+
+
+def test_rp006_flags_span_and_offregistry_instrument():
+    findings = unsuppressed(check_file(FIXTURES / "bad_rp006.py"))
+    messages = " | ".join(f.message for f in findings)
+    assert "outside a with-statement" in messages
+    assert "constructed directly" in messages
+
+
+def test_suppression_comments_silence_without_hiding():
+    findings = check_file(FIXTURES / "suppressed.py")
+    assert findings, "fixture should still produce (suppressed) findings"
+    assert not unsuppressed(findings)
+    assert all(f.suppressed for f in findings)
+    # rule-scoped and blanket forms both present in the fixture
+    assert {f.rule for f in findings} >= {"RP002", "RP004", "RP005"}
+
+
+def test_suppression_is_rule_scoped():
+    src = (
+        '"""f"""\n'
+        "def f(rho, dv):\n"
+        "    rho /= dv  # repro: noqa[RP004] wrong rule id\n"
+        "    return rho\n"
+    )
+    findings = check_file("inline.py", source=src)
+    assert [f.rule for f in unsuppressed(findings)] == ["RP002"]
+
+
+def test_select_and_ignore_filter_rules():
+    only_005 = run_paths([FIXTURES], select=["RP005"])
+    assert {f.rule for f in only_005} == {"RP005"}
+    no_005 = run_paths([FIXTURES], ignore=["RP005"])
+    assert "RP005" not in {f.rule for f in no_005}
+
+
+def test_parse_error_becomes_rp000_finding(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    findings = check_file(broken)
+    assert [f.rule for f in findings] == [PARSE_ERROR_RULE]
+
+
+def test_scalar_annotated_augassign_is_not_mutation():
+    src = (
+        '"""m"""\n'
+        "def next_even(n: int) -> int:\n"
+        "    n += n % 2\n"
+        "    return n\n"
+    )
+    assert not check_file("inline.py", source=src)
+
+
+def test_out_parameter_contract_is_honoured():
+    src = (
+        '"""m"""\n'
+        "def scale(out, factor):\n"
+        "    out *= factor\n"
+    )
+    assert not check_file("inline.py", source=src)
+
+
+def test_finding_anchor_carries_position():
+    ctx = FileContext.from_source("x.py", '"""d"""\nseen = []\n')
+    findings = check_file("x.py", source='"""d"""\nseen = []\n')
+    assert findings[0].line == 2
+    assert findings[0].path == "x.py"
+    assert ctx.noqa == {}

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.dft.basis import PlaneWaveBasis, density_from_orbitals
-from repro.dft.grid import RealSpaceGrid
 
 
 @pytest.fixture()

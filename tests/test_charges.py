@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.reactive.charges import (
-    ChargeResult,
     charge_pathways,
     equilibrate_charges,
     superanion_metric,

@@ -44,8 +44,6 @@ def test_hilbert_locality_beats_morton():
     """Mean curve-neighbor distance: Hilbert strictly better."""
     rng = np.random.default_rng(0)
     pts = rng.integers(0, 16, size=(400, 3))
-    for curve, expect_best in ((hilbert_index, True), (morton_index, False)):
-        pass
     d_h = _mean_step(pts, hilbert_index)
     d_m = _mean_step(pts, morton_index)
     assert d_h < d_m

@@ -1,6 +1,5 @@
 """Tests for unit conversions and the species registry."""
 
-import numpy as np
 import pytest
 
 from repro import constants

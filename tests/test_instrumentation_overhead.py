@@ -9,7 +9,6 @@ enter a function defined in ``repro/observability``.
 
 import sys
 
-import pytest
 
 from repro.dft.scf import SCFOptions, run_scf
 from repro.observability import Instrumentation

@@ -1,12 +1,10 @@
 """Tests for machine specs and the Tables 1-2 FLOP-rate models."""
 
-import numpy as np
 import pytest
 
 from repro.parallel.machine import (
     BLUE_GENE_Q,
     XEON_E5_2665,
-    MachineSpec,
     mira_cores,
 )
 from repro.perfmodel.flops import (

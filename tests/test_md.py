@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.constants import KELVIN_TO_HARTREE
 from repro.md.integrator import (
     VelocityVerlet,
     initialize_velocities,
@@ -12,7 +11,7 @@ from repro.md.integrator import (
 )
 from repro.md.neighbors import NeighborList
 from repro.md.thermostat import BerendsenThermostat, LangevinThermostat
-from repro.systems import Configuration, dimer, random_gas
+from repro.systems import dimer, random_gas
 
 
 def _harmonic_engine(k=0.5, r0=2.0):

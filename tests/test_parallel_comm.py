@@ -134,3 +134,48 @@ def test_bcast_synchronizes_clocks(traced_comm):
     comm.barrier()
     # all ranks now at >= 5.0
     assert tracker.clocks.min() >= 5.0
+
+
+class _Payload:
+    """An opaque object with no special sizing rule."""
+
+
+def test_nbytes_pins_payload_sizing():
+    """Pin the _nbytes contract: None is free, dataclasses sum their
+    fields, strings/bytes are length-sized, opaque objects hit the
+    documented fallback."""
+    import dataclasses
+
+    from repro.parallel.comm import _OPAQUE_OBJECT_BYTES, _nbytes
+
+    @dataclasses.dataclass
+    class Slab:
+        data: np.ndarray
+        tag: int
+        note: str
+
+    assert _nbytes(None) == 0.0
+    assert _nbytes(3) == 8.0
+    assert _nbytes(2.5) == 8.0
+    assert _nbytes(1 + 2j) == 8.0
+    assert _nbytes(np.zeros((4, 5))) == 4 * 5 * 8
+    assert _nbytes(b"abcd") == 4.0
+    assert _nbytes("héllo") == float(len("héllo".encode("utf-8")))
+    assert _nbytes([np.zeros(3), 1.0, None]) == 3 * 8 + 8.0
+    assert _nbytes({"a": np.zeros(2), "b": None}) == 16.0
+    slab = Slab(data=np.zeros(10), tag=7, note="xy")
+    assert _nbytes(slab) == 80.0 + 8.0 + 2.0
+    # the dataclass *class* (not an instance) is still opaque
+    assert _nbytes(Slab) == _OPAQUE_OBJECT_BYTES
+    assert _nbytes(_Payload()) == _OPAQUE_OBJECT_BYTES
+
+
+def test_reduce_none_entries_cost_nothing():
+    """reduce() leaves None on non-root ranks; a second collective over
+    that list must not charge phantom bytes for them."""
+    from repro.parallel.comm import _nbytes
+
+    comm = VirtualComm(4)
+    reduced = comm.reduce([1.0, 2.0, 3.0, 4.0], root=2)
+    assert reduced == [None, None, 10.0, None]
+    assert _nbytes(reduced) == 8.0

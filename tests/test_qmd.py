@@ -1,7 +1,6 @@
 """Tests for the QMD driver (MD + pluggable quantum/surrogate engines)."""
 
 import numpy as np
-import pytest
 
 from repro.md.integrator import initialize_velocities
 from repro.md.qmd import QMDDriver, SCFEngine, LDCEngine

@@ -6,7 +6,7 @@ import pytest
 from repro.constants import ANGSTROM_TO_BOHR, EV_TO_HARTREE
 from repro.md.integrator import VelocityVerlet, initialize_velocities
 from repro.reactive.potential import DEFAULT_PAIRS, MorseParams, ReactiveForceField, _morse
-from repro.systems import Configuration, dimer, water_molecule
+from repro.systems import dimer, water_molecule
 
 
 @pytest.fixture()

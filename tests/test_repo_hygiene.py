@@ -2,7 +2,6 @@
 
 import pathlib
 
-import pytest
 
 REPO = pathlib.Path(__file__).resolve().parents[1]
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.dft.scf import SCFOptions, initial_density, run_scf
-from repro.systems import Configuration, dimer
+from repro.systems import dimer
 
 
 def test_h2_converges(h2_scf):
