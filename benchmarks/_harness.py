@@ -4,22 +4,65 @@ Every bench prints the rows the paper's table/figure reports and appends
 them to ``benchmarks/results/<name>.txt`` so a full ``pytest benchmarks/
 --benchmark-only`` run leaves a complete paper-vs-measured record behind.
 
-Alongside each text file, :func:`report` now also writes a machine-readable
-``benchmarks/results/BENCH_<name>.json`` record::
+Alongside each text file, :func:`report` writes a machine-readable
+``benchmarks/results/BENCH_<name>.json`` payload::
 
-    {"bench": "<name>", "title": "...", "lines": [...], "records": [...]}
+    {"schema_version": 2, "bench": "<name>", "title": "...",
+     "meta": {...provenance...}, "schema": {...declared record shape...},
+     "lines": [...], "records": [...]}
 
-Pass ``records=[{...}, ...]`` (one dict per measured row) to make the JSON
-useful for downstream tooling; without it the text lines are still carried
-over so every benchmark is machine-readable at least at line granularity.
+``records`` carries one dict per measured row and ``schema`` its declared
+shape from ``benchmarks/_schemas.py`` — validated here at report time, so a
+bench emitting malformed rows fails immediately.  The payloads are the
+input to the regression gate::
+
+    python -m repro.observability.regress --baselines benchmarks/baselines
+
+``meta`` records provenance (git SHA, timestamp, python/numpy versions) so
+a ledger entry can always be traced back to the code that produced it.
 """
 
 from __future__ import annotations
 
+import datetime
 import json
 import pathlib
+import platform
+import subprocess
+
+from repro.observability.regress import SCHEMA_VERSION, RecordSchema
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_META: dict | None = None
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def run_meta() -> dict:
+    """Provenance block shared by every payload of one suite run."""
+    global _META
+    if _META is None:
+        import numpy
+
+        _META = {
+            "git_sha": _git_sha(),
+            "timestamp": datetime.datetime.now(datetime.timezone.utc)
+            .isoformat(timespec="seconds"),
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+        }
+    return _META
 
 
 def report(
@@ -27,21 +70,34 @@ def report(
     title: str,
     lines: list[str],
     records: list[dict] | None = None,
+    schema: RecordSchema | None = None,
 ) -> None:
     """Print a result block and persist it under benchmarks/results/.
 
     Writes both ``<name>.txt`` (the human-readable block, unchanged) and
-    ``BENCH_<name>.json`` (a machine-readable record; ``records`` carries
-    one dict per measured row when the benchmark provides them).
+    ``BENCH_<name>.json`` (the machine-readable ledger entry).  When a
+    ``schema`` is given the records are validated against it — a violation
+    raises, failing the benchmark — and the schema rides along in the
+    payload for ``repro.observability.regress``.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     block = [f"=== {title} ==="] + lines + [""]
     text = "\n".join(block)
     print("\n" + text)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if schema is not None:
+        problems = schema.validate(records or [])
+        if problems:
+            raise ValueError(
+                f"bench {name!r}: records violate schema:\n  "
+                + "\n  ".join(problems)
+            )
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "bench": name,
         "title": title,
+        "meta": run_meta(),
+        "schema": schema.to_dict() if schema is not None else None,
         "lines": list(lines),
         "records": records or [],
     }

@@ -9,6 +9,7 @@ import time
 
 import numpy as np
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.dft.basis import PlaneWaveBasis
 from repro.dft.eigensolver import solve_all_band, solve_band_by_band, solve_direct
@@ -47,7 +48,15 @@ def test_poisson_solvers(benchmark):
         f"FD-vs-spectral max deviation: {diff:.2e} ({100 * diff / scale:.2f}% of max V)",
         f"warm-started cycles: {warm_cycles} (cold: {cold_cycles})",
     ]
-    report("ablation_poisson", "Ablation — GSLF Poisson solvers", lines)
+    records = [
+        {"metric": "t_fft_s", "value": float(t_fft)},
+        {"metric": "t_mg_s", "value": float(t_mg)},
+        {"metric": "fd_vs_spectral_max_dev", "value": float(diff)},
+        {"metric": "cold_cycles", "value": float(cold_cycles)},
+        {"metric": "warm_cycles", "value": float(warm_cycles)},
+    ]
+    report("ablation_poisson", "Ablation — GSLF Poisson solvers", lines,
+           records=records, schema=SCHEMAS["ablation_poisson"])
     assert diff < 0.05 * scale
     assert warm_cycles <= cold_cycles
 
@@ -87,6 +96,16 @@ def test_eigensolver_ablation(benchmark):
                 float(np.abs(res_bbb.eigenvalues - ref.eigenvalues).max()),
                 widths=[22, 10, 14]),
     ]
-    report("ablation_eigensolvers", "Ablation — eigensolvers", lines)
+    err_all = float(np.abs(res_all.eigenvalues - ref.eigenvalues).max())
+    err_bbb = float(np.abs(res_bbb.eigenvalues - ref.eigenvalues).max())
+    records = [
+        {"metric": "t_direct_s", "value": float(t_direct)},
+        {"metric": "t_all_band_s", "value": float(t_all)},
+        {"metric": "t_band_by_band_s", "value": float(t_bbb)},
+        {"metric": "err_all_band", "value": err_all},
+        {"metric": "err_band_by_band", "value": err_bbb},
+    ]
+    report("ablation_eigensolvers", "Ablation — eigensolvers", lines,
+           records=records, schema=SCHEMAS["ablation_eigensolvers"])
     assert np.abs(res_all.eigenvalues - ref.eigenvalues).max() < 1e-5
     assert np.abs(res_bbb.eigenvalues - ref.eigenvalues).max() < 1e-4

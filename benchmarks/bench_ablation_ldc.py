@@ -11,6 +11,7 @@ cannot remove — DC and LDC perform at parity here (EXPERIMENTS.md §EXP-F7).
 """
 
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.core import LDCOptions, run_ldc
 from repro.systems import dimer
@@ -38,13 +39,19 @@ def test_xi_sweep(benchmark, cdse16_amorphous, cdse16_reference):
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     lines = [fmt_row("variant", "|dE|/atom", "iters", widths=[20, 12, 6])]
+    records = []
     for name, r in results.items():
         err = abs(r.energy - ref.energy) / len(cfg)
         lines.append(fmt_row(name, err, r.iterations, widths=[20, 12, 6]))
+        records.append(
+            {"variant": name, "abs_de_per_atom": float(err),
+             "iterations": int(r.iterations), "converged": int(r.converged)}
+        )
     lines.append("")
     lines.append("finding: DC ≈ LDC with the artifact-free global potential;")
     lines.append("the paper's LDC gain targets domain-local potential errors")
-    report("ablation_xi", "Ablation — boundary potential ξ", lines)
+    report("ablation_xi", "Ablation — boundary potential ξ", lines,
+           records=records, schema=SCHEMAS["ablation_xi"])
 
     for r in results.values():
         assert r.converged
@@ -69,7 +76,14 @@ def test_mixer_ablation(benchmark):
         fmt_row("pulay", r_p.iterations, r_p.energy, widths=[8, 6, 14]),
         fmt_row("linear", r_l.iterations, r_l.energy, widths=[8, 6, 14]),
     ]
-    report("ablation_mixers", "Ablation — density mixing", lines)
+    records = [
+        {"mixer": "pulay", "iterations": int(r_p.iterations),
+         "energy_ha": float(r_p.energy)},
+        {"mixer": "linear", "iterations": int(r_l.iterations),
+         "energy_ha": float(r_l.energy)},
+    ]
+    report("ablation_mixers", "Ablation — density mixing", lines,
+           records=records, schema=SCHEMAS["ablation_mixers"])
     assert r_p.converged and r_l.converged
     assert r_p.iterations <= r_l.iterations
     assert abs(r_p.energy - r_l.energy) < 1e-4
@@ -91,5 +105,12 @@ def test_support_ablation(benchmark):
         fmt_row("sharp", r_sharp.energy, r_sharp.iterations, widths=[8, 14, 6]),
         fmt_row("smooth", r_smooth.energy, r_smooth.iterations, widths=[8, 14, 6]),
     ]
-    report("ablation_support", "Ablation — partition of unity", lines)
+    records = [
+        {"support": "sharp", "energy_ha": float(r_sharp.energy),
+         "iterations": int(r_sharp.iterations)},
+        {"support": "smooth", "energy_ha": float(r_smooth.energy),
+         "iterations": int(r_smooth.iterations)},
+    ]
+    report("ablation_support", "Ablation — partition of unity", lines,
+           records=records, schema=SCHEMAS["ablation_support"])
     assert abs(r_sharp.energy - r_smooth.energy) < 5e-3

@@ -8,6 +8,7 @@ is part of tier-1, so this pins how much wall-clock the gate costs.
 import time
 
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.analysis import all_checkers, iter_python_files, run_paths, unsuppressed
 
@@ -59,6 +60,7 @@ def test_self_lint_throughput(benchmark):
                 "unsuppressed_findings": len(open_findings),
             }
         ],
+        schema=SCHEMAS["analysis"],
     )
 
     # The gate must stay clean and cheap: tier-1 runs it on every push.

@@ -5,6 +5,7 @@ Paper: wall-clock per QMD step nearly flat for 64·P-atom SiC on P = 16 …
 """
 
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.perfmodel.scaling import WeakScalingModel
 
@@ -19,14 +20,20 @@ def run_weak_scaling():
 def test_fig5_weak_scaling(benchmark):
     points = benchmark(run_weak_scaling)
     lines = [fmt_row("cores", "atoms", "t/step[s]", "efficiency")]
+    records = []
     for p in points:
         lines.append(fmt_row(p.cores, p.natoms, p.wall_clock, p.efficiency))
+        records.append(
+            {"cores": p.cores, "natoms": p.natoms,
+             "wall_clock_s": p.wall_clock, "efficiency": p.efficiency}
+        )
     full = points[-1]
     lines.append("")
     lines.append(f"paper:    efficiency 0.984 @ 786,432 cores, 50,331,648 atoms")
     lines.append(f"measured: efficiency {full.efficiency:.3f} @ {full.cores:,} cores, "
                  f"{full.natoms:,} atoms")
-    report("fig5_weak_scaling", "Fig. 5 — weak scaling", lines)
+    report("fig5_weak_scaling", "Fig. 5 — weak scaling", lines,
+           records=records, schema=SCHEMAS["fig5_weak_scaling"])
     assert abs(full.efficiency - 0.984) < 0.01
     assert full.natoms == 50_331_648
     # near-flat wall-clock is the figure's visual claim

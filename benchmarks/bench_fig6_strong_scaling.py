@@ -4,6 +4,7 @@ Paper: speedup 12.85 (efficiency 0.803) going from 49,152 to 786,432 cores.
 """
 
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.perfmodel.scaling import StrongScalingModel
 
@@ -18,15 +19,21 @@ def run_strong_scaling():
 def test_fig6_strong_scaling(benchmark):
     model, points = benchmark(run_strong_scaling)
     lines = [fmt_row("cores", "t/step[s]", "speedup", "efficiency")]
+    records = []
     for p in points:
         lines.append(
             fmt_row(p.cores, p.wall_clock, model.speedup(p.cores), p.efficiency)
+        )
+        records.append(
+            {"cores": p.cores, "wall_clock_s": p.wall_clock,
+             "speedup": model.speedup(p.cores), "efficiency": p.efficiency}
         )
     s = model.speedup(786_432)
     lines.append("")
     lines.append("paper:    speedup 12.85 (efficiency 0.803) at 16x cores")
     lines.append(f"measured: speedup {s:.2f} (efficiency {s / 16:.3f}) at 16x cores")
-    report("fig6_strong_scaling", "Fig. 6 — strong scaling", lines)
+    report("fig6_strong_scaling", "Fig. 6 — strong scaling", lines,
+           records=records, schema=SCHEMAS["fig6_strong_scaling"])
     assert abs(s - 12.85) < 0.8
     # wall-clock must decrease monotonically with cores
     times = [p.wall_clock for p in points]

@@ -14,6 +14,7 @@ EXPERIMENTS.md §EXP-F7).
 
 import numpy as np
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.core import LDCOptions, run_ldc
 from repro.core.complexity import fit_decay_constant
@@ -46,6 +47,7 @@ def test_fig7_buffer_convergence(benchmark, cdse16_amorphous, cdse16_reference):
 
     lines = [fmt_row("mode", "b[Bohr]", "E[Ha]", "|dE|/atom", "rho_err")]
     errors = {}
+    records = []
     for mode in ("dc", "ldc"):
         errs, rho_errs = [], []
         for b, r in zip(BUFFERS, results[mode]):
@@ -59,6 +61,10 @@ def test_fig7_buffer_convergence(benchmark, cdse16_amorphous, cdse16_reference):
             errs.append(e_err)
             rho_errs.append(rho_err)
             lines.append(fmt_row(mode, b, r.energy, e_err, rho_err))
+            records.append(
+                {"mode": mode, "buffer": b, "energy_ha": float(r.energy),
+                 "abs_de_per_atom": float(e_err), "rho_err": float(rho_err)}
+            )
         errors[mode] = (np.array(errs), np.array(rho_errs))
 
     # Exponential decay of the density error (Eq. 1's λ)
@@ -72,7 +78,8 @@ def test_fig7_buffer_convergence(benchmark, cdse16_amorphous, cdse16_reference):
     lines.append("paper: energy converges within 1e-3 a.u./atom above b = 4 (their")
     lines.append("       basis); here the same trend appears at toy cutoffs, with the")
     lines.append("       density error decaying exponentially per Eq. 1")
-    report("fig7_buffer_convergence", "Fig. 7 — buffer convergence", lines)
+    report("fig7_buffer_convergence", "Fig. 7 — buffer convergence", lines,
+           records=records, schema=SCHEMAS["fig7_buffer_convergence"])
 
     # Figure's claims at reproduction scale:
     for mode in ("dc", "ldc"):

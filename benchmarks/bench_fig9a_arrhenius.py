@@ -7,6 +7,7 @@ activation barrier of 0.068 eV and a rate of 1.04·10⁹ s⁻¹ per LiAl pair at
 
 import numpy as np
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.reactive.analysis import arrhenius_fit, rate_with_error
 from repro.reactive.kmc import KMCOptions, run_kmc
@@ -54,7 +55,16 @@ def test_fig9a_arrhenius(benchmark):
         f"(paper: 68 meV), R^2 = {fit.r_squared:.4f}",
         f"k(300 K) per pair = {k300_pair:.2e} /s (paper: 1.04e9 /s)",
     ]
-    report("fig9a_arrhenius", "Fig. 9(a) — Arrhenius kinetics", lines)
+    records = [
+        {"metric": f"rate_per_pair_{t:.0f}K", "value": float(r / census.n_pairs)}
+        for t, r in zip(TEMPERATURES, rates)
+    ] + [
+        {"metric": "activation_mev", "value": float(fit.activation_ev * 1e3)},
+        {"metric": "r_squared", "value": float(fit.r_squared)},
+        {"metric": "k300_per_pair", "value": float(k300_pair)},
+    ]
+    report("fig9a_arrhenius", "Fig. 9(a) — Arrhenius kinetics", lines,
+           records=records, schema=SCHEMAS["fig9a_arrhenius"])
 
     assert abs(fit.activation_ev - 0.068) < 0.025
     assert fit.r_squared > 0.95

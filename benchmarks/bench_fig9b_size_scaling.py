@@ -7,6 +7,7 @@ scales to industrially relevant particle sizes.
 
 import numpy as np
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.reactive.analysis import rate_with_error
 from repro.reactive.kmc import KMCOptions, run_kmc
@@ -40,10 +41,16 @@ def test_fig9b_size_scaling(benchmark):
     rows = benchmark.pedantic(run_size_sweep, rounds=1, iterations=1)
     lines = [fmt_row("pairs", "N_surf", "rate [1/s]", "rate/N_surf", "stderr/N_surf")]
     normalized = []
+    records = []
     for n, census, mean, err in rows:
         norm = mean / census.n_surface
         normalized.append((norm, err / census.n_surface))
         lines.append(fmt_row(n, census.n_surface, mean, norm, err / census.n_surface))
+        records.append(
+            {"pairs": n, "n_surface": int(census.n_surface),
+             "rate": float(mean), "rate_per_surface": float(norm),
+             "stderr_per_surface": float(err / census.n_surface)}
+        )
     values = np.array([v for v, _ in normalized])
     spread = values.max() / values.min()
     lines += [
@@ -51,7 +58,8 @@ def test_fig9b_size_scaling(benchmark):
         f"max/min of rate/N_surf over sizes: {spread:.2f} "
         "(paper: constant within error bars)",
     ]
-    report("fig9b_size_scaling", "Fig. 9(b) — size-independence", lines)
+    report("fig9b_size_scaling", "Fig. 9(b) — size-independence", lines,
+           records=records, schema=SCHEMAS["fig9b_size_scaling"])
 
     # the figure's claim: normalized rate constant across sizes (within ~2x
     # here, since the smallest particle has large stochastic error bars)

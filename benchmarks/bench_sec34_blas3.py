@@ -11,6 +11,7 @@ import time
 
 import numpy as np
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.util.linalg import apply_projectors_blas2, apply_projectors_blas3
 
@@ -53,7 +54,15 @@ def test_blas3_transformation(benchmark):
         f"speedup: {speedup:.1f}x  (achieved {gflops:.1f} GFLOP/s in BLAS3)",
         f"max |difference| between paths: {max_diff:.2e} (must be roundoff)",
     ]
-    report("sec34_blas3", "Sec. 3.4 — BLAS2 vs BLAS3", lines)
+    records = [
+        {"metric": "t_blas2_s", "value": t_blas2},
+        {"metric": "t_blas3_s", "value": t_blas3},
+        {"metric": "gflops_blas3", "value": gflops},
+        {"metric": "speedup", "value": speedup},
+        {"metric": "max_path_difference", "value": max_diff},
+    ]
+    report("sec34_blas3", "Sec. 3.4 — BLAS2 vs BLAS3", lines,
+           records=records, schema=SCHEMAS["sec34_blas3"])
 
     assert max_diff < 1e-9
     assert speedup > 2.0  # the transformation must pay off substantially

@@ -6,6 +6,7 @@ the execution time.
 """
 
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.parallel.collective_io import CollectiveIOModel
 
@@ -37,7 +38,15 @@ def test_collective_io(benchmark):
         f"read  {t_read:.1f} s = {100 * t_read / RUN_SECONDS:.3f}% "
         "(paper: 9.1 s = 0.02%)",
     ]
-    report("sec42_collective_io", "Sec. 4.2 — collective I/O", lines)
+    records = [
+        {"metric": "optimal_group_size", "value": float(opt_g)},
+        {"metric": "write_time_s", "value": float(opt_t)},
+        {"metric": "read_time_s", "value": float(t_read)},
+        {"metric": "write_percent_of_run",
+         "value": float(100 * opt_t / RUN_SECONDS)},
+    ]
+    report("sec42_collective_io", "Sec. 4.2 — collective I/O", lines,
+           records=records, schema=SCHEMAS["sec42_collective_io"])
 
     # optimum is an interior group size, in the paper's neighborhood
     assert 48 <= opt_g <= 1024

@@ -7,6 +7,7 @@ Paper numbers (CdSe, l = 11.416 a.u.):
 """
 
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.core.complexity import (
     crossover_length,
@@ -51,7 +52,16 @@ def test_crossover_and_speedups(benchmark):
     )
     lines.append(f"l* = 2b check: l*(b=3.57, nu=2) = "
                  f"{optimal_core_length(3.57, 2.0):.2f} = {2 * 3.57:.2f}")
-    report("sec52_crossover", "Sec. 5.2 — speedups & crossover", lines)
+    records = []
+    for tol, s2, s3 in res["speedups"]:
+        records.append({"metric": f"speedup_nu2@{tol:.0e}", "value": s2})
+        records.append({"metric": f"speedup_nu3@{tol:.0e}", "value": s3})
+    records.append({"metric": "crossover_atoms", "value": res["crossover"]})
+    records.append(
+        {"metric": "crossover_strict_atoms", "value": res["crossover_strict"]}
+    )
+    report("sec52_crossover", "Sec. 5.2 — speedups & crossover", lines,
+           records=records, schema=SCHEMAS["sec52_crossover"])
 
     # the 5e-3 row is the paper's worked example
     _, s2, s3 = res["speedups"][1]

@@ -12,6 +12,7 @@ import time
 
 import numpy as np
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.parallel.machine import XEON_E5_2665
 from repro.perfmodel.threading import xeon_portability_estimate
@@ -42,7 +43,13 @@ def test_portability(benchmark):
         fmt_row("this host: measured DGEMM", f"{host_gflops:.1f} GF/s",
                 widths=[46, 14]),
     ]
-    report("sec54_portability", "Sec. 5.4 — performance portability", lines)
+    records = [
+        {"metric": "model_gflops", "value": float(row.gflops)},
+        {"metric": "model_percent_peak", "value": float(row.percent_peak)},
+        {"metric": "host_dgemm_gflops", "value": float(host_gflops)},
+    ]
+    report("sec54_portability", "Sec. 5.4 — performance portability", lines,
+           records=records, schema=SCHEMAS["sec54_portability"])
 
     # the model must land near the paper's 55%-of-peak measurement
     assert abs(row.percent_peak - 55.0) < 6.0

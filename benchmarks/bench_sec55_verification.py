@@ -9,6 +9,7 @@ fixed seed for the Li30Al30 system.
 
 import numpy as np
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.core import LDCOptions, run_ldc
 from repro.dft.forces import forces_from_scf
@@ -50,7 +51,16 @@ def test_sec55_verification(benchmark):
         f"{kmc_a.total_h2} == {kmc_b.total_h2} "
         f"(paper: identical H2 count between the two codes)",
     ]
-    report("sec55_verification", "Sec. 5.5 — verification", lines)
+    records = [
+        {"metric": "scf_energy_ha", "value": float(scf.energy)},
+        {"metric": "ldc_energy_ha", "value": float(ldc.energy)},
+        {"metric": "abs_de_ha", "value": float(de)},
+        {"metric": "abs_dmu_ha", "value": float(dmu)},
+        {"metric": "max_force_diff", "value": float(df)},
+        {"metric": "kmc_h2_count", "value": float(kmc_a.total_h2)},
+    ]
+    report("sec55_verification", "Sec. 5.5 — verification", lines,
+           records=records, schema=SCHEMAS["sec55_verification"])
 
     assert de < 2e-3          # the DC approximation at this buffer
     # mu sits mid-gap and shifts with the domain LUMO on a 2-electron toy

@@ -7,6 +7,7 @@ such long time".
 """
 
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.perfmodel.campaign import (
     PAPER_PRODUCTION,
@@ -34,7 +35,20 @@ def test_production_accounting(benchmark):
         "",
         "paper: 21,140 steps x 0.242 fs = 5.12 ps; 6.11 SCF/step; ~12 h sessions",
     ]
-    report("sec6_production", "Sec. 6 — production campaign", lines)
+    records = [
+        {"metric": "atoms", "value": float(spec.natoms)},
+        {"metric": "qmd_steps", "value": float(spec.nsteps)},
+        {"metric": "scf_iterations", "value": float(spec.scf_iterations)},
+        {"metric": "scf_per_step", "value": float(spec.scf_per_step)},
+        {"metric": "simulated_ps", "value": float(spec.simulated_ps)},
+        {"metric": "seconds_per_scf", "value": float(plan.seconds_per_scf)},
+        {"metric": "campaign_hours", "value": float(plan.total_hours)},
+        {"metric": "sessions_12h", "value": float(plan.sessions_12h)},
+        {"metric": "io_seconds_per_session",
+         "value": float(plan.io_seconds_per_session)},
+    ]
+    report("sec6_production", "Sec. 6 — production campaign", lines,
+           records=records, schema=SCHEMAS["sec6_production"])
 
     # bookkeeping identities from the paper's own numbers
     assert spec.simulated_ps ==.242 * 21_140 / 1000

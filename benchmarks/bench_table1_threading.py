@@ -9,6 +9,7 @@ Paper (512-atom SiC, 64 MPI ranks):
 """
 
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.perfmodel.threading import flops_table
 
@@ -34,7 +35,7 @@ def test_table1_threading(benchmark):
              "paper_gflops": p_gf, "paper_percent_peak": p_pct}
         )
     report("table1_threading", "Table 1 — FLOP/s vs threads", lines,
-           records=records)
+           records=records, schema=SCHEMAS["table1_threading"])
 
     # shape claims
     for nodes in (4, 8, 16):

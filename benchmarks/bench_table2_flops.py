@@ -7,6 +7,7 @@ Paper:
 """
 
 from _harness import fmt_row, report
+from _schemas import SCHEMAS
 
 from repro.perfmodel.threading import rack_table
 
@@ -17,13 +18,21 @@ def test_table2_rack_flops(benchmark):
     rows = benchmark(rack_table)
     lines = [fmt_row("racks", "cores", "model TF/s", "model %",
                      "paper TF/s", "paper %")]
+    records = []
     for racks, row in zip((1, 2, 48), rows):
         p_tf, p_pct = PAPER[racks]
         lines.append(
             fmt_row(racks, row.nodes * 16, row.gflops / 1e3,
                     row.percent_peak, p_tf, p_pct)
         )
-    report("table2_rack_flops", "Table 2 — FLOP/s on Mira", lines)
+        records.append(
+            {"racks": racks, "cores": row.nodes * 16,
+             "model_tflops": row.gflops / 1e3,
+             "model_percent_peak": row.percent_peak,
+             "paper_tflops": p_tf, "paper_percent_peak": p_pct}
+        )
+    report("table2_rack_flops", "Table 2 — FLOP/s on Mira", lines,
+           records=records, schema=SCHEMAS["table2_rack_flops"])
 
     for racks, row in zip((1, 2, 48), rows):
         p_tf, p_pct = PAPER[racks]

@@ -1,7 +1,8 @@
 """RP006 — ``Instrumentation`` hygiene at call sites.
 
-The observability contract (DESIGN.md §8) is: spans are context managers,
-and metric instruments come from the registry.
+The observability contract (DESIGN.md §8, §10) is: spans are context
+managers, metric instruments come from the registry, and health invariants
+are registered on a monitor with thresholds from a config object.
 
 * **Span without ``with``.**  ``ins.span("x")`` as a bare expression (or
   any use outside a ``with`` item / ``return`` passthrough) opens a span
@@ -11,6 +12,14 @@ and metric instruments come from the registry.
   :class:`~repro.observability.metrics.MetricsRegistry`, so the sample
   never appears in snapshots; call ``ins.counter(...)``/
   ``registry.gauge(...)`` instead.
+* **Invariant constructed without registration.**  An ``*Invariant(...)``
+  built outside ``HealthMonitor(invariants=[...])`` / ``monitor.add(...)``
+  (or a factory ``return``) never sees a sample — the check silently does
+  not run.
+* **Hard-coded health threshold.**  A numeric-literal keyword at an
+  ``*Invariant(...)`` call site scatters WARN/FAIL bands through driver
+  code; thresholds belong in one
+  :class:`~repro.observability.health.HealthThresholds` object.
 
 The ``repro/observability`` package itself is exempt: it *implements* the
 contract this rule holds call sites to.
@@ -32,13 +41,17 @@ class TelemetryHygieneChecker(Checker):
     rule = "RP006"
     name = "telemetry-hygiene"
     description = (
-        "span opened outside a with-statement, or a metrics instrument "
-        "constructed directly instead of through the registry"
+        "span opened outside a with-statement, a metrics instrument "
+        "constructed off-registry, an Invariant built without being "
+        "registered on a HealthMonitor, or a health threshold hard-coded "
+        "at an Invariant call site"
     )
     exempt_paths = ("repro/observability/",)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         allowed_spans = self._allowed_span_calls(ctx.tree)
+        invariant_classes = self._invariant_classes(ctx.tree)
+        registered = self._registered_invariant_calls(ctx.tree)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -63,6 +76,22 @@ class TelemetryHygieneChecker(Checker):
                     f"off-registry never appear in metric snapshots — use "
                     f"the registry/Instrumentation factory methods",
                 )
+            if func_name in invariant_classes:
+                if node not in registered:
+                    yield ctx.finding(
+                        node, self.rule,
+                        f"{func_name} constructed but never registered; an "
+                        f"invariant outside HealthMonitor(invariants=[...])"
+                        f" / monitor.add(...) never sees a sample",
+                    )
+                for kw in node.keywords:
+                    if kw.arg is not None and _is_numeric_literal(kw.value):
+                        yield ctx.finding(
+                            kw.value, self.rule,
+                            f"health threshold {kw.arg}= hard-coded at the "
+                            f"{func_name} call site; WARN/FAIL bands belong "
+                            f"in one HealthThresholds config object",
+                        )
 
     @staticmethod
     def _allowed_span_calls(tree: ast.Module) -> set[ast.Call]:
@@ -87,3 +116,60 @@ class TelemetryHygieneChecker(Checker):
                 if any((a.asname or a.name) == name for a in node.names):
                     return True
         return False
+
+    @staticmethod
+    def _invariant_classes(tree: ast.Module) -> set[str]:
+        """Invariant classes visible in this file: names imported from the
+        health/observability modules plus local ``Invariant`` subclasses."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and (
+                node.module.endswith("health")
+                or node.module.endswith("observability")
+            ):
+                for a in node.names:
+                    local = a.asname or a.name
+                    if a.name.endswith("Invariant"):
+                        names.add(local)
+            elif isinstance(node, ast.ClassDef):
+                bases = {dotted_name(b) for b in node.bases}
+                if any(b and b.endswith("Invariant") for b in bases):
+                    names.add(node.name)
+        return names
+
+    @staticmethod
+    def _registered_invariant_calls(tree: ast.Module) -> set[ast.Call]:
+        """Invariant constructions in a sanctioned registration position:
+        an argument of ``HealthMonitor(...)`` or ``.add(...)`` (directly or
+        inside a list/tuple literal), or part of a factory ``return``."""
+        allowed: set[ast.Call] = set()
+
+        def collect(value: ast.expr) -> None:
+            if isinstance(value, ast.Call):
+                allowed.add(value)
+            elif isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+                for elt in value.elts:
+                    collect(elt)
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and (
+                dotted_name(node.func) == "HealthMonitor"
+                or call_method_name(node) == "add"
+            ):
+                for arg in node.args:
+                    collect(arg)
+                for kw in node.keywords:
+                    collect(kw.value)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                collect(node.value)
+        return allowed
+
+
+def _is_numeric_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool)

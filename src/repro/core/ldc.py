@@ -205,13 +205,25 @@ def _prepare_states(
     return states
 
 
+def _partition_residual(
+    grid: RealSpaceGrid, states: list[DomainState]
+) -> float:
+    """max_r |Σ_α p_α(r) − 1| — the identity Eq. (b)'s assembly relies on."""
+    total = np.zeros(grid.shape)
+    for state in states:
+        ix, iy, iz = state.domain.grid_indices
+        np.add.at(total, np.ix_(ix, iy, iz), state.support)
+    return float(np.abs(total - 1.0).max())
+
+
 def _solve_domain(
     state: DomainState,
     v_eff_domain: np.ndarray,
     options: LDCOptions,
     instrumentation: Instrumentation | None = None,
-) -> None:
-    """Solve the domain KS problem in place (updates psi, eigenvalues)."""
+) -> int:
+    """Solve the domain KS problem in place (updates psi, eigenvalues);
+    returns the eigensolver iteration count."""
     ham = Hamiltonian(state.basis, v_eff_domain, state.vnl)
     if options.eigensolver == "direct":
         res = solve_direct(ham, state.nband, instrumentation=instrumentation)
@@ -229,6 +241,7 @@ def _solve_domain(
         raise ValueError(f"unknown eigensolver {options.eigensolver!r}")
     state.psi = res.orbitals
     state.eigenvalues = res.eigenvalues
+    return res.iterations
 
 
 def run_ldc(
@@ -283,6 +296,7 @@ def _run_ldc(
     ins: Instrumentation | None,
 ) -> LDCResult:
     """LDC implementation; ``ins`` is the instrumentation facade or None."""
+    hm = None if ins is None else ins.health
     if grid is None:
         grid = make_global_grid(config, opts)
     decomp = DomainDecomposition(grid, opts.domains, opts.buffer)
@@ -296,6 +310,12 @@ def _run_ldc(
             category="ldc", ndomains=decomp.ndomains, support=opts.support,
         )
         ins.gauge("ldc.domains").set(decomp.ndomains)
+    if hm is not None:
+        hm.observe(
+            "ldc.partition",
+            max_residual=_partition_residual(grid, states),
+            ndomains=decomp.ndomains, support=opts.support,
+        )
 
     n_electrons = config.n_electrons()
     v_loc_global = local_potential(grid, config)
@@ -357,6 +377,10 @@ def _run_ldc(
                        "energy": components["total"], "mu": mu,
                        "boundary_error": bnd_err},
             )
+        if hm is not None:
+            hm.observe(
+                "scf.residual", engine="ldc", iteration=it, residual=resid
+            )
         if resid < opts.tol:
             rho = rho_out
             converged = True
@@ -371,6 +395,17 @@ def _run_ldc(
         xi, mg, vh_prev, opts, ins,
     )
     rho_final = renormalize(np.clip(rho_final, 0.0, None), n_electrons, grid.dv)
+
+    if hm is not None:
+        hm.observe(
+            "scf.density", engine="ldc",
+            total_charge=grid.integrate(rho_final), n_electrons=n_electrons,
+        )
+        hm.observe(
+            "solver.convergence", solver="scf[ldc]", converged=converged,
+            iterations=it, final=True,
+            residual=residuals[-1] if residuals else None,
+        )
 
     result = LDCResult(
         energy=components["total"],
@@ -449,8 +484,15 @@ def _scf_pass(
             with ins.span(
                 "ldc.domain_solve", category="ldc", domain=idom,
                 natoms=len(state.atom_indices), nband=state.nband,
-            ):
-                _solve_domain(state, v_dom + state.vbc, opts, ins)
+            ) as sp:
+                iters = _solve_domain(state, v_dom + state.vbc, opts, ins)
+                # solve sizes feed the per-kernel FLOP attribution
+                # (repro.observability.costattr) at report time
+                sp.attrs.update(
+                    npw=state.basis.npw,
+                    grid_points=int(np.prod(dom.grid.shape)),
+                    nproj=len(state.vnl.d), cg_iterations=iters,
+                )
 
         assert state.basis is not None and state.eigenvalues is not None
         fields = state.basis.to_grid(state.psi)  # (nband, *domain shape)

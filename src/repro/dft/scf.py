@@ -217,6 +217,7 @@ def _run_scf(
     ins: Instrumentation | None,
 ) -> SCFResult:
     """SCF implementation; ``ins`` is the instrumentation facade or None."""
+    hm = None if ins is None else ins.health
     if grid is None:
         grid = RealSpaceGrid.for_cutoff(config.cell, opts.ecut, opts.grid_factor)
     basis = PlaneWaveBasis(grid, opts.ecut)
@@ -259,8 +260,15 @@ def _run_scf(
         if ins is None:
             eig = _solve(ham, psi, opts)
         else:
-            with ins.span("scf.eigensolve", category="scf", iteration=it):
+            with ins.span("scf.eigensolve", category="scf", iteration=it) as sp:
                 eig = _solve(ham, psi, opts, ins)
+                # solve sizes feed the per-kernel FLOP attribution
+                # (repro.observability.costattr) at report time
+                sp.attrs.update(
+                    npw=basis.npw, nband=nband,
+                    grid_points=int(np.prod(grid.shape)),
+                    nproj=len(nonlocal_.d), cg_iterations=eig.iterations,
+                )
         psi = eig.orbitals
         eigs = eig.eigenvalues
         mu, occs = _occupy(eigs, n_electrons, opts)
@@ -289,6 +297,10 @@ def _run_scf(
                 extra={"engine": "pw", "iteration": it,
                        "residual": resid, "energy": energy, "mu": mu},
             )
+        if hm is not None:
+            hm.observe(
+                "scf.residual", engine="pw", iteration=it, residual=resid
+            )
 
         if resid < opts.tol:
             rho = rho_out
@@ -310,6 +322,17 @@ def _run_scf(
     energy = _total_energy(
         grid, eigs, occs, rho_final, vh, vxc, e_ewald, mu, opts.kt, v_extra
     )
+
+    if hm is not None:
+        hm.observe(
+            "scf.density", engine="pw",
+            total_charge=grid.integrate(rho_final), n_electrons=n_electrons,
+        )
+        hm.observe(
+            "solver.convergence", solver="scf[pw]", converged=converged,
+            iterations=it, final=True,
+            residual=residuals[-1] if residuals else None,
+        )
 
     e_h = hartree_energy(grid, rho_final, vh)
     from repro.dft.xc import xc_energy

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.constants import ATU_TO_FS
 from repro.md.integrator import VelocityVerlet, kinetic_energy, temperature
 from repro.systems.configuration import Configuration
 
@@ -129,6 +130,7 @@ class QMDDriver:
         ):
             engine.instrumentation = instrumentation
         self._scf_iters_last = 0
+        self.timestep = timestep
         self.integrator = VelocityVerlet(self._forces_wrapper, timestep)
         self.frames: list[QMDFrame] = []
 
@@ -173,6 +175,17 @@ class QMDDriver:
                            "temperature": frame.temperature,
                            "total_energy": frame.total_energy},
                 )
+                if ins.health is not None:
+                    ins.health.observe(
+                        "qmd.step",
+                        step=frame.step,
+                        total_energy=frame.total_energy,
+                        elapsed_fs=frame.step * self.timestep * ATU_TO_FS,
+                        natoms=config.natoms,
+                        temperature=frame.temperature,
+                        nve=self.thermostat is None,
+                        target_kelvin=getattr(self.thermostat, "target", None),
+                    )
         return self.frames
 
     def _advance(self, config: Configuration) -> None:

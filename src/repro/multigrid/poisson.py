@@ -113,12 +113,20 @@ class MultigridPoisson:
                 "poisson.solve", ins.tracer.now() - t0, category="poisson",
                 cycles=cycles, converged=converged,
                 warm_start=v0 is not None,
+                grid_points=int(np.prod(self.grid.shape)),
+                sweeps=self.pre_sweeps + self.post_sweeps,
             )
             ins.log.debug(
                 "multigrid solve",
                 extra={"cycles": cycles, "converged": converged,
                        "final_residual": norms[-1] if norms else None},
             )
+            if ins.health is not None:
+                ins.health.observe(
+                    "solver.convergence", solver="poisson.multigrid",
+                    converged=converged, iterations=cycles,
+                    residual=norms[-1] if norms else None,
+                )
         return u
 
     # -- internals --------------------------------------------------------------

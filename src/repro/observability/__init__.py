@@ -19,14 +19,32 @@ Span/metric naming convention: dotted ``subsystem.thing`` names
 (``scf.residual``, ``ldc.domain_solve``, ``poisson.vcycles``), with
 key=value labels for series dimensions (``scf.iterations{engine=ldc}``).
 
-The report CLI renders a paper-style per-phase breakdown from a trace::
+Two further layers close the loop from telemetry to *gates*:
+
+* :mod:`repro.observability.health` — online physics invariants (energy
+  drift, charge conservation, partition of unity, SCF stalls, thermostat
+  window) attached to the facade as ``Instrumentation(health=...)``;
+* :mod:`repro.observability.regress` — the schema'd BENCH ledger and the
+  performance-regression CLI that diffs fresh results against committed
+  baselines.
+
+The report CLI renders a paper-style per-phase breakdown from a trace
+(``--flops`` adds the roofline-style FLOP attribution of
+:mod:`repro.observability.costattr`)::
 
     python -m repro.observability.report trace.json
+    python -m repro.observability.report trace.json --flops
 """
 
 from repro.observability.cost_trace import (
     chrome_events_from_cost_tracker,
     chrome_trace_from_cost_tracker,
+)
+from repro.observability.health import (
+    HealthError,
+    HealthMonitor,
+    HealthRecord,
+    HealthThresholds,
 )
 from repro.observability.instrumentation import Instrumentation
 from repro.observability.logs import configure_logging, get_logger
@@ -34,8 +52,14 @@ from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import Span, SpanTracer
 
 __all__ = [
+    "FieldSpec",
+    "HealthError",
+    "HealthMonitor",
+    "HealthRecord",
+    "HealthThresholds",
     "Instrumentation",
     "MetricsRegistry",
+    "RecordSchema",
     "Span",
     "SpanTracer",
     "chrome_events_from_cost_tracker",
@@ -48,11 +72,16 @@ __all__ = [
 
 
 def __getattr__(name):
-    # ``report`` is lazy so that ``python -m repro.observability.report``
-    # does not import it twice (runpy warns when the module already sits
-    # in sys.modules via the package import).
+    # ``report`` and ``regress`` are lazy so that running them as
+    # ``python -m repro.observability.<mod>`` does not import them twice
+    # (runpy warns when the module already sits in sys.modules via the
+    # package import).
     if name in ("phase_breakdown", "render_breakdown"):
         from repro.observability import report
 
         return getattr(report, name)
+    if name in ("FieldSpec", "RecordSchema"):
+        from repro.observability import regress
+
+        return getattr(regress, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

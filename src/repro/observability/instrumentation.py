@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 import logging
 import pathlib
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.observability.logs import get_logger
 from repro.observability.metrics import (
@@ -36,6 +36,9 @@ from repro.observability.metrics import (
 )
 from repro.observability.tracer import SpanTracer
 from repro.util.timer import WallClock
+
+if TYPE_CHECKING:
+    from repro.observability.health import HealthMonitor
 
 
 class Instrumentation:
@@ -50,6 +53,11 @@ class Instrumentation:
         A stdlib logger; defaults to the ``repro`` namespace root.
     clock:
         Injectable clock used for a default-constructed tracer.
+    health:
+        Optional :class:`~repro.observability.health.HealthMonitor`; when
+        set, drivers additionally publish physics-invariant samples to it
+        and its records merge into the Chrome trace as instant events.
+        ``None`` (the default) keeps every health check off the hot path.
     """
 
     def __init__(
@@ -58,10 +66,15 @@ class Instrumentation:
         metrics: MetricsRegistry | None = None,
         logger: logging.Logger | None = None,
         clock: WallClock | None = None,
+        health: "HealthMonitor | None" = None,
     ) -> None:
         self.tracer = tracer or SpanTracer(clock=clock)
         self.metrics = metrics or MetricsRegistry()
         self.log = logger or get_logger()
+        self.health = health
+        if health is not None and health.clock is None:
+            # share the tracer's clock so health instants align with spans
+            health.clock = self.tracer._clock
         #: extra Chrome-trace events merged into exports (e.g. simulated-rank
         #: timelines attached via :meth:`attach_cost_tracker`)
         self.extra_chrome_events: list[dict[str, Any]] = []
@@ -105,7 +118,10 @@ class Instrumentation:
 
     def to_chrome_trace(self) -> dict[str, Any]:
         trace = self.tracer.to_chrome_trace()
-        trace["traceEvents"] = trace["traceEvents"] + self.extra_chrome_events
+        events = trace["traceEvents"] + self.extra_chrome_events
+        if self.health is not None:
+            events = events + self.health.chrome_events()
+        trace["traceEvents"] = events
         return trace
 
     def write_trace(self, path) -> None:
@@ -113,8 +129,9 @@ class Instrumentation:
             json.dump(self.to_chrome_trace(), fh, indent=1)
 
     def write_artifacts(self, outdir) -> dict[str, pathlib.Path]:
-        """Write ``trace.json``, ``metrics.json``, ``metrics.csv``; returns
-        the artifact paths keyed by name."""
+        """Write ``trace.json``, ``metrics.json``, ``metrics.csv`` (and
+        ``health.json`` when a monitor is attached); returns the artifact
+        paths keyed by name."""
         out = pathlib.Path(outdir)
         out.mkdir(parents=True, exist_ok=True)
         paths = {
@@ -126,4 +143,8 @@ class Instrumentation:
         self.metrics.write_snapshot(
             json_path=paths["metrics_json"], csv_path=paths["metrics_csv"]
         )
+        if self.health is not None:
+            paths["health"] = out / "health.json"
+            with open(paths["health"], "w") as fh:
+                json.dump(self.health.to_dict(), fh, indent=1)
         return paths

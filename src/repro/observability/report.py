@@ -10,6 +10,11 @@ from a trace produced by :class:`~repro.observability.tracer.SpanTracer`,
 The percentage column is relative to the trace's wall-clock extent
 (max end − min start over the selected events), matching how the paper
 reports per-phase fractions of the run (Sec. 4.2).
+
+``--flops`` switches to the roofline-style accounting of Tables 1-2:
+per-phase time, estimated FLOPs (attributed from the solve sizes stamped
+on spans via :mod:`repro.observability.costattr`), achieved GFLOP/s, and —
+with ``--peak-gflops`` — the achieved fraction of peak.
 """
 
 from __future__ import annotations
@@ -119,6 +124,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--top", type=int, default=None, help="show only the N largest phases"
     )
+    parser.add_argument(
+        "--flops", action="store_true",
+        help="roofline-style table: per-phase time, estimated FLOPs "
+             "(from repro.perfmodel.flops), achieved GFLOP/s",
+    )
+    parser.add_argument(
+        "--peak-gflops", type=float, default=None,
+        help="machine peak used for the %% of peak column in --flops mode",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -126,6 +140,18 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, json.JSONDecodeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.flops:
+        from repro.observability.costattr import render_roofline, roofline_table
+
+        table = roofline_table(
+            duration_events(events, pid=args.pid),
+            peak_gflops=args.peak_gflops,
+        )
+        if not table:
+            print("trace contains no duration events")
+            return 1
+        print(render_roofline(table, top=args.top))
+        return 0
     breakdown = phase_breakdown(events, by=args.by, pid=args.pid)
     if not breakdown:
         print("trace contains no duration events")

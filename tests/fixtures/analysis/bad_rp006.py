@@ -1,5 +1,6 @@
 """Known-bad fixture for RP006: telemetry hygiene violations."""
 
+from repro.observability.health import EnergyDriftInvariant
 from repro.observability.metrics import Counter
 
 
@@ -12,3 +13,13 @@ def rogue_counter():
     c = Counter("scf.iterations", {})  # bypasses the registry
     c.inc()
     return c
+
+
+def unregistered_invariant():
+    inv = EnergyDriftInvariant()  # built, never added to a HealthMonitor
+    return 0 if inv else 1
+
+
+def hardcoded_threshold(monitor):
+    # registered, but the WARN band is a literal at the call site
+    monitor.add(EnergyDriftInvariant(warn=1e-3))

@@ -72,6 +72,44 @@ def test_rp006_flags_span_and_offregistry_instrument():
     assert "constructed directly" in messages
 
 
+def test_rp006_flags_health_hygiene_violations():
+    findings = [
+        f for f in unsuppressed(check_file(FIXTURES / "bad_rp006.py"))
+        if f.rule == "RP006"
+    ]
+    messages = " | ".join(f.message for f in findings)
+    # an Invariant built outside HealthMonitor(...)/.add(...) never runs
+    assert "never registered" in messages
+    # a numeric-literal warn= at the call site bypasses HealthThresholds
+    assert "hard-coded" in messages and "HealthThresholds" in messages
+    # the registered-with-literal call is flagged for the literal only,
+    # not as unregistered: 4 findings total (span, counter, 2 health)
+    assert len(findings) == 4
+
+
+def test_rp006_accepts_registered_invariants(tmp_path):
+    good = tmp_path / "good_health.py"
+    good.write_text(
+        "from repro.observability.health import (\n"
+        "    ChargeConservationInvariant,\n"
+        "    EnergyDriftInvariant,\n"
+        "    HealthMonitor,\n"
+        "    HealthThresholds,\n"
+        ")\n"
+        "\n"
+        "\n"
+        "def build(thr: HealthThresholds):\n"
+        "    monitor = HealthMonitor(invariants=[EnergyDriftInvariant(thr)])\n"
+        "    monitor.add(ChargeConservationInvariant(thresholds=thr))\n"
+        "    return monitor\n"
+        "\n"
+        "\n"
+        "def factory(thr):\n"
+        "    return EnergyDriftInvariant(thr)\n"
+    )
+    assert not [f for f in check_file(good) if f.rule == "RP006"]
+
+
 def test_suppression_comments_silence_without_hiding():
     findings = check_file(FIXTURES / "suppressed.py")
     assert findings, "fixture should still produce (suppressed) findings"

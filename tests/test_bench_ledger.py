@@ -1,0 +1,79 @@
+"""Tier-1 validation of the committed BENCH ledger: every benchmark schema
+declared in benchmarks/_schemas.py has a committed baseline payload under
+benchmarks/baselines/, each payload carries the v2 envelope (schema_version,
+meta, embedded schema), and its records validate against the schema the
+current code declares.  This is what lets the regress CLI gate CI without
+re-running every benchmark."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.observability.regress import SCHEMA_VERSION, RecordSchema
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+BASELINES = REPO / "benchmarks" / "baselines"
+
+
+def _schemas():
+    sys.path.insert(0, str(REPO / "benchmarks"))
+    try:
+        from _schemas import SCHEMAS
+    finally:
+        sys.path.pop(0)
+    return SCHEMAS
+
+
+SCHEMAS = _schemas()
+
+
+def _baseline(name):
+    return json.loads((BASELINES / f"BENCH_{name}.json").read_text())
+
+
+def test_every_declared_schema_has_a_committed_baseline():
+    committed = {p.name[len("BENCH_"):-len(".json")]
+                 for p in BASELINES.glob("BENCH_*.json")}
+    assert set(SCHEMAS) == committed, (
+        f"declared-but-uncommitted: {set(SCHEMAS) - committed}; "
+        f"committed-but-undeclared: {committed - set(SCHEMAS)}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMAS))
+def test_baseline_payload_envelope_and_records(name):
+    payload = _baseline(name)
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["bench"] == name
+    assert set(payload["meta"]) == {"git_sha", "timestamp", "python", "numpy"}
+    assert payload["records"], f"{name}: baseline has no records"
+
+    # the embedded schema round-trips and matches the current declaration
+    embedded = RecordSchema.from_dict(payload["schema"])
+    declared = SCHEMAS[name]
+    assert embedded == declared, (
+        f"{name}: committed baseline's schema is stale — regenerate with "
+        f"`python -m repro.observability.regress --update`"
+    )
+    # and the committed records are valid under the *current* schema
+    assert declared.validate(payload["records"]) == []
+
+
+def test_schema_benches_match_their_keys():
+    for name, schema in SCHEMAS.items():
+        assert schema.bench == name, f"{name}: schema.bench {schema.bench!r}"
+
+
+def test_regress_cli_is_clean_against_committed_results():
+    """The acceptance pin: fresh results committed alongside the baselines
+    diff clean (exit 0).  Skipped when benchmarks/results has not been
+    populated in this checkout."""
+    results = REPO / "benchmarks" / "results"
+    if not any(results.glob("BENCH_*.json")):
+        pytest.skip("no fresh benchmark results in this checkout")
+    from repro.observability.regress import main
+
+    assert main(["--results", str(results),
+                 "--baselines", str(BASELINES)]) == 0

@@ -1,0 +1,312 @@
+"""Tests for the schema'd BENCH ledger and regression gate
+(repro.observability.regress): FieldSpec/RecordSchema validation, the
+tolerance-band comparison semantics, and the CLI's exit-code contract
+(0 clean / 1 regression / 2 usage error)."""
+
+import json
+import math
+
+import pytest
+
+from repro.observability.regress import (
+    SCHEMA_VERSION,
+    Delta,
+    FieldSpec,
+    RecordSchema,
+    _violates,
+    compare_payloads,
+    main,
+    metric_value,
+)
+
+# -- FieldSpec / RecordSchema declarations -----------------------------------
+
+
+def test_fieldspec_rejects_bad_declarations():
+    with pytest.raises(ValueError, match="unknown kind"):
+        FieldSpec("x", kind="complex")
+    with pytest.raises(ValueError, match="unknown direction"):
+        FieldSpec("x", direction="sideways")
+    with pytest.raises(ValueError, match="tolerances"):
+        FieldSpec("x", rel_tol=-0.1)
+
+
+def test_fieldspec_round_trips_through_dict():
+    spec = FieldSpec("gflops", direction="higher", rel_tol=0.1, abs_tol=0.5)
+    assert FieldSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_schema_rejects_duplicate_fields_and_undeclared_key():
+    with pytest.raises(ValueError, match="duplicate"):
+        RecordSchema("b", [FieldSpec("x"), FieldSpec("x")])
+    with pytest.raises(ValueError, match="undeclared"):
+        RecordSchema("b", [FieldSpec("x")], key=("y",))
+
+
+def test_schema_round_trips_with_overrides():
+    schema = RecordSchema(
+        "b",
+        metric_value(direction="lower"),
+        key=("metric",),
+        overrides={"rate": {"value": {"direction": "higher"}}},
+    )
+    back = RecordSchema.from_dict(schema.to_dict())
+    assert back == schema
+    assert back.spec_for("rate", "value").direction == "higher"
+    assert back.spec_for("other", "value").direction == "lower"
+    assert back.spec_for("rate", "no_such_field") is None
+
+
+def test_validate_reports_each_problem_class():
+    schema = RecordSchema(
+        "b",
+        [FieldSpec("name", kind="str"), FieldSpec("n", kind="int"),
+         FieldSpec("opt", kind="float", required=False)],
+        key=("name",),
+    )
+    errors = schema.validate([
+        {"name": "a", "n": 1},                    # clean
+        {"name": "b"},                            # missing required n
+        {"name": "c", "n": 2, "extra": 0},        # undeclared field
+        {"name": "d", "n": 2.5},                  # kind mismatch
+        {"name": "a", "n": 3},                    # duplicate key
+        "not-a-dict",                             # not an object
+    ])
+    joined = " | ".join(errors)
+    assert "missing field 'n'" in joined
+    assert "undeclared field 'extra'" in joined
+    assert "is not int" in joined
+    assert "duplicate row key" in joined
+    assert "not an object" in joined
+    assert len(errors) == 5
+
+
+def test_validate_accepts_none_and_int_as_float():
+    schema = RecordSchema("b", [FieldSpec("x", required=False)])
+    assert schema.validate([{"x": None}, {"x": 3}, {"x": 3.0}]) == []
+    # bool is not a number for ledger purposes
+    assert schema.validate([{"x": True}])
+
+
+# -- tolerance-band semantics ------------------------------------------------
+
+
+def _spec(**kw):
+    return FieldSpec("v", **kw)
+
+
+def test_band_is_max_of_abs_and_rel():
+    spec = _spec(direction="both", rel_tol=0.1, abs_tol=0.5)
+    assert _violates(spec, 1.0, 1.4) is None        # |Δ|=0.4 < abs band 0.5
+    assert _violates(spec, 1.0, 1.6) is not None
+    assert _violates(spec, 100.0, 109.0) is None    # rel band 10 dominates
+    assert _violates(spec, 100.0, 111.0) is not None
+
+
+def test_direction_lower_only_flags_increases():
+    spec = _spec(direction="lower", rel_tol=0.05)
+    assert _violates(spec, 10.0, 9.0) is None       # improvement: fine
+    assert _violates(spec, 10.0, 10.4) is None      # within band
+    assert "lower is better" in _violates(spec, 10.0, 11.0)
+
+
+def test_direction_higher_only_flags_decreases():
+    spec = _spec(direction="higher", rel_tol=0.05)
+    assert _violates(spec, 10.0, 11.0) is None
+    assert "higher is better" in _violates(spec, 10.0, 9.0)
+
+
+def test_nan_and_none_semantics():
+    spec = _spec(direction="both")
+    assert _violates(spec, None, None) is None
+    assert _violates(spec, None, 1.0) == "value appeared/disappeared"
+    assert _violates(spec, float("nan"), float("nan")) is None
+    assert _violates(spec, 1.0, float("nan")) == "NaN-ness changed"
+    assert math.isnan(float("nan"))  # sanity
+
+
+def test_string_fields_compare_by_equality():
+    spec = FieldSpec("v", kind="str")
+    assert _violates(spec, "a", "a") is None
+    assert _violates(spec, "a", "b") == "changed"
+
+
+# -- compare_payloads --------------------------------------------------------
+
+
+def _payload(records, schema, bench="demo"):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": bench,
+        "schema": schema.to_dict() if schema else None,
+        "records": records,
+    }
+
+
+TAB = RecordSchema(
+    "demo",
+    [FieldSpec("case", kind="str", compare=False),
+     FieldSpec("err", direction="lower", rel_tol=0.1),
+     FieldSpec("rate", direction="higher", rel_tol=0.1),
+     FieldSpec("wall_s", required=False, compare=False)],
+    key=("case",),
+)
+
+
+def test_compare_clean_payloads_has_no_deltas():
+    base = _payload([{"case": "a", "err": 1e-3, "rate": 5.0,
+                      "wall_s": 0.1}], TAB)
+    fresh = _payload([{"case": "a", "err": 1.05e-3, "rate": 4.9,
+                       "wall_s": 9.9}], TAB)  # wall_s never gated
+    assert compare_payloads(base, fresh) == []
+
+
+def test_compare_flags_regressions_per_direction():
+    base = _payload([{"case": "a", "err": 1e-3, "rate": 5.0}], TAB)
+    fresh = _payload([{"case": "a", "err": 2e-3, "rate": 4.0}], TAB)
+    deltas = compare_payloads(base, fresh)
+    assert {(d.field, d.status) for d in deltas} == {
+        ("err", "regression"), ("rate", "regression")
+    }
+    assert all(d.gating for d in deltas)
+    assert "REGRESSION" in deltas[0].format()
+
+
+def test_compare_missing_and_new_rows():
+    base = _payload([{"case": "a", "err": 1.0, "rate": 1.0}], TAB)
+    fresh = _payload([{"case": "b", "err": 1.0, "rate": 1.0}], TAB)
+    statuses = {d.status for d in compare_payloads(base, fresh)}
+    assert statuses == {"missing_row", "new_row"}
+    # new rows are informational, missing rows gate
+    assert Delta("b", "k", "", "new_row").gating is False
+    assert Delta("b", "k", "", "missing_row").gating is True
+
+
+def test_compare_validates_fresh_records_against_schema():
+    base = _payload([{"case": "a", "err": 1.0, "rate": 1.0}], TAB)
+    fresh = _payload([{"case": "a", "err": "oops", "rate": 1.0}], TAB)
+    deltas = compare_payloads(base, fresh)
+    assert any(d.status == "invalid" and "is not float" in d.message
+               for d in deltas)
+
+
+def test_fresh_schema_wins_over_baseline():
+    """Loosening a band in current code must immediately govern the gate."""
+    tight = RecordSchema("demo", [FieldSpec("x", rel_tol=0.01)])
+    loose = RecordSchema("demo", [FieldSpec("x", rel_tol=0.5)])
+    base = _payload([{"x": 1.0}], tight)
+    fresh = _payload([{"x": 1.3}], loose)
+    assert compare_payloads(base, fresh) == []
+
+
+def test_payload_without_any_schema_is_invalid():
+    deltas = compare_payloads(_payload([], None), _payload([], None))
+    assert [d.status for d in deltas] == ["invalid"]
+    assert "no schema" in deltas[0].message
+
+
+def test_metric_style_overrides_give_per_metric_bands():
+    schema = RecordSchema(
+        "demo", metric_value(direction="both", rel_tol=0.05),
+        key=("metric",),
+        overrides={"speedup": {"value": {"direction": "higher",
+                                         "rel_tol": 0.2}}},
+    )
+    base = _payload([{"metric": "speedup", "value": 10.0},
+                     {"metric": "energy", "value": -1.0}], schema)
+    fresh = _payload([{"metric": "speedup", "value": 9.0},   # within 20%
+                      {"metric": "energy", "value": -1.2}], schema)
+    deltas = compare_payloads(base, fresh)
+    assert [d.key for d in deltas] == ["energy"]
+
+
+# -- CLI exit-code contract --------------------------------------------------
+
+
+def _write_payload(directory, name, records, schema):
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(_payload(records, schema, bench=name)))
+    return path
+
+
+def test_cli_exit_0_on_clean_diff(tmp_path, capsys):
+    rec = [{"case": "a", "err": 1e-3, "rate": 5.0}]
+    _write_payload(tmp_path / "results", "demo", rec, TAB)
+    _write_payload(tmp_path / "baselines", "demo", rec, TAB)
+    code = main(["--results", str(tmp_path / "results"),
+                 "--baselines", str(tmp_path / "baselines")])
+    assert code == 0
+    assert "1 bench(es) compared, 0 gating" in capsys.readouterr().out
+
+
+def test_cli_exit_1_on_regression(tmp_path, capsys):
+    _write_payload(tmp_path / "results", "demo",
+                   [{"case": "a", "err": 9.0, "rate": 5.0}], TAB)
+    _write_payload(tmp_path / "baselines", "demo",
+                   [{"case": "a", "err": 1.0, "rate": 5.0}], TAB)
+    code = main(["--results", str(tmp_path / "results"),
+                 "--baselines", str(tmp_path / "baselines")])
+    assert code == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_cli_exit_2_on_missing_results_dir(tmp_path, capsys):
+    code = main(["--results", str(tmp_path / "nope"),
+                 "--baselines", str(tmp_path / "baselines")])
+    assert code == 2
+    assert "results dir not found" in capsys.readouterr().err
+
+
+def test_cli_exit_2_on_missing_baselines_dir(tmp_path, capsys):
+    _write_payload(tmp_path / "results", "demo", [], TAB)
+    code = main(["--results", str(tmp_path / "results"),
+                 "--baselines", str(tmp_path / "nope")])
+    assert code == 2
+    assert "--update" in capsys.readouterr().err
+
+
+def test_cli_update_promotes_fresh_to_baseline(tmp_path, capsys):
+    rec = [{"case": "a", "err": 1e-3, "rate": 5.0}]
+    _write_payload(tmp_path / "results", "demo", rec, TAB)
+    code = main(["--results", str(tmp_path / "results"),
+                 "--baselines", str(tmp_path / "baselines"), "--update"])
+    assert code == 0
+    promoted = json.loads(
+        (tmp_path / "baselines" / "BENCH_demo.json").read_text()
+    )
+    assert promoted["records"] == rec
+    # and the subsequent diff is clean
+    assert main(["--results", str(tmp_path / "results"),
+                 "--baselines", str(tmp_path / "baselines")]) == 0
+
+
+def test_cli_require_all_fails_on_missing_fresh_result(tmp_path, capsys):
+    rec = [{"case": "a", "err": 1e-3, "rate": 5.0}]
+    _write_payload(tmp_path / "baselines", "demo", rec, TAB)
+    (tmp_path / "results").mkdir()
+    relaxed = main(["--results", str(tmp_path / "results"),
+                    "--baselines", str(tmp_path / "baselines")])
+    assert relaxed == 0  # skipped benches tolerated by default
+    strict = main(["--results", str(tmp_path / "results"),
+                   "--baselines", str(tmp_path / "baselines"),
+                   "--require-all"])
+    assert strict == 1
+    assert "FAIL: no fresh result" in capsys.readouterr().out
+
+
+def test_cli_bench_filter_restricts_comparison(tmp_path, capsys):
+    good = [{"case": "a", "err": 1.0, "rate": 5.0}]
+    bad = [{"case": "a", "err": 9.0, "rate": 5.0}]
+    _write_payload(tmp_path / "results", "one", good, TAB)
+    _write_payload(tmp_path / "results", "two", bad, TAB)
+    _write_payload(tmp_path / "baselines", "one", good, TAB)
+    _write_payload(tmp_path / "baselines", "two", good, TAB)
+    # restricted to the clean bench, the broken one is invisible
+    assert main(["--results", str(tmp_path / "results"),
+                 "--baselines", str(tmp_path / "baselines"),
+                 "--bench", "one"]) == 0
+    assert main(["--results", str(tmp_path / "results"),
+                 "--baselines", str(tmp_path / "baselines"),
+                 "--bench", "two"]) == 1
+    capsys.readouterr()
