@@ -279,6 +279,28 @@ SCHEMAS: dict[str, RecordSchema] = {
                       rel_tol=0.0, abs_tol=2.0),
         ],
     ),
+    # -- QMD hot path: workspace + orbital warm starts ------------------------
+    "qmd_warm_start": _metric_schema(
+        "qmd_warm_start",
+        {
+            # deterministic solves: iteration counts gate on increase
+            "cold_eig_iters": {"direction": "lower", "rel_tol": 0.1},
+            "warm_eig_iters": {"direction": "lower", "rel_tol": 0.1},
+            "cold_scf_iters": {"direction": "lower", "rel_tol": 0.0,
+                               "abs_tol": 2.0},
+            "warm_scf_iters": {"direction": "lower", "rel_tol": 0.0,
+                               "abs_tol": 2.0},
+            # the headline claim: the warm start must keep paying off
+            "eig_reduction_pct": {"direction": "higher", "rel_tol": 0.0,
+                                  "abs_tol": 5.0},
+            "warm_domains_per_step": _EXACT,
+            # warm and cold trajectories solve the same physics
+            "max_energy_dev_ha": {"direction": "lower", "rel_tol": 0.25,
+                                  "abs_tol": 1e-6},
+            "t_cold_s": _TIMING,
+            "t_warm_s": _TIMING,
+        },
+    ),
     # -- self-lint throughput -------------------------------------------------
     "analysis": RecordSchema(
         bench="analysis",

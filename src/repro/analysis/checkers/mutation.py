@@ -12,12 +12,21 @@ The contract escapes, in order of precedence:
 * the parameter name signals mutability (``out``, ``buf``/``buffer``,
   ``inout``, or an ``..._out`` suffix);
 * the function docstring documents the mutation (contains "in place",
-  "in-place", "mutates", "updates", or "overwrites").
+  "in-place", "mutates", "updates", "overwrites", or "accumulates" — the
+  last being the convention in-place accumulators like
+  ``Hamiltonian.apply`` use).
 
 Augmented assignment to a *bare name* (``n += 1``) is only a caller-visible
 mutation for mutable objects; parameters annotated with immutable scalar
 types (``int``, ``float``, ...) are rebinding locally and are skipped —
 one concrete payoff of the gradual-typing effort.
+
+Writes through a *view alias* are tracked too: ``v = param[:n]`` (or
+``param.T`` / ``param.view()`` / ``param.reshape(...)``) shares memory with
+the caller's array, so ``v[...] = x`` or ``v += x`` is the same silent
+aliasing bug with one extra level of indirection — exactly the shape of the
+in-place accumulation idioms on the QMD hot path.  Only names bound once in
+the function are treated as aliases (a later rebinding would detach them).
 """
 
 from __future__ import annotations
@@ -39,10 +48,72 @@ _MUTATING_METHODS = {
     "clear", "update", "remove", "setdefault", "popitem",
 }
 _CONTRACT_WORDS = ("in place", "in-place", "inplace", "mutates", "updates",
-                   "overwrites")
+                   "overwrites", "accumulates")
 _CONTRACT_PARAM_MARKERS = ("out", "buf", "buffer", "inout")
 _SCALAR_ANNOTATIONS = {"int", "float", "complex", "bool", "str", "bytes",
                        "None"}
+#: numpy methods whose result shares memory with the receiver
+_VIEW_METHODS = {"view", "reshape", "ravel", "transpose", "swapaxes"}
+
+
+def _view_source(expr: ast.expr) -> str | None:
+    """The base name when ``expr`` is a view of that name's array.
+
+    Recognized shapes: ``name[...]`` (basic slicing), ``name.T``, and
+    ``name.view()`` / ``name.reshape(...)`` / other ``_VIEW_METHODS`` calls.
+    Fancy-index subscripts can copy, but a linter cannot tell statically —
+    treating them as views errs on the side of surfacing the alias.
+    """
+    if isinstance(expr, ast.Subscript) and isinstance(expr.value, ast.Name):
+        return expr.value.id
+    if (
+        isinstance(expr, ast.Attribute)
+        and expr.attr == "T"
+        and isinstance(expr.value, ast.Name)
+    ):
+        return expr.value.id
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in _VIEW_METHODS
+        and isinstance(expr.func.value, ast.Name)
+    ):
+        return expr.func.value.id
+    return None
+
+
+def _view_aliases(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, tracked: set[str]
+) -> dict[str, str]:
+    """Map alias name → tracked parameter it is a view of.
+
+    Only names bound exactly once in the function qualify — a second
+    binding could detach the name from the view, and tracking it past that
+    point would be a false positive.
+    """
+    counts: dict[str, int] = {}
+    for node in ast.walk(fn):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.For)):
+            # AugAssign is deliberately not counted: `v += x` on an array
+            # mutates the same object, it does not detach the view
+            targets = [node.target]
+        for t in targets:
+            if isinstance(t, ast.Name):
+                counts[t.id] = counts.get(t.id, 0) + 1
+    aliases: dict[str, str] = {}
+    for node in ast.walk(fn):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name) or counts.get(target.id) != 1:
+            continue
+        src = _view_source(node.value)
+        if src is not None and src in tracked:
+            aliases[target.id] = src
+    return aliases
 
 
 def _scalar_annotated(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
@@ -102,6 +173,12 @@ class ArgumentMutationChecker(Checker):
             tracked = params - rebound
             if not tracked:
                 continue
+            # watch maps every mutable name to the argument it reaches:
+            # the parameters themselves, plus single-assignment view
+            # aliases of them (v = param[:n] etc.) — writing through the
+            # view writes the caller's memory just the same
+            watch = {name: name for name in tracked}
+            watch.update(_view_aliases(fn, tracked))
             for node in ast.walk(fn):
                 if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn:
                     continue
@@ -109,32 +186,50 @@ class ArgumentMutationChecker(Checker):
                     for target in node.targets:
                         if (
                             isinstance(target, ast.Subscript)
-                            and base_name(target) in tracked
+                            and base_name(target) in watch
                         ):
-                            yield self._finding(ctx, node, base_name(target), fn)
+                            yield self._finding(
+                                ctx, node, base_name(target), fn, watch
+                            )
                 elif isinstance(node, ast.AugAssign):
                     tgt = node.target
-                    if (
-                        isinstance(tgt, ast.Name)
-                        and tgt.id in tracked
-                        and tgt.id not in _scalar_annotated(fn)
+                    if isinstance(tgt, ast.Name) and tgt.id in watch and (
+                        # the scalar-annotation rebinding exemption applies
+                        # to parameters; a view alias is always an array
+                        tgt.id not in tracked
+                        or tgt.id not in _scalar_annotated(fn)
                     ):
-                        yield self._finding(ctx, node, tgt.id, fn)
-                    elif isinstance(tgt, ast.Subscript) and base_name(tgt) in tracked:
-                        yield self._finding(ctx, node, base_name(tgt), fn)
+                        yield self._finding(ctx, node, tgt.id, fn, watch)
+                    elif isinstance(tgt, ast.Subscript) and base_name(tgt) in watch:
+                        yield self._finding(
+                            ctx, node, base_name(tgt), fn, watch
+                        )
                 elif isinstance(node, ast.Call):
                     meth = call_method_name(node)
                     if meth in _MUTATING_METHODS and isinstance(
                         node.func, ast.Attribute
                     ) and isinstance(node.func.value, ast.Name):
                         recv = node.func.value.id
-                        if recv in tracked:
-                            yield self._finding(ctx, node, recv, fn)
+                        if recv in watch:
+                            yield self._finding(ctx, node, recv, fn, watch)
 
-    def _finding(self, ctx: FileContext, node: ast.AST, name: str | None, fn) -> Finding:
+    def _finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        name: str | None,
+        fn,
+        watch: dict[str, str] | None = None,
+    ) -> Finding:
+        param = watch.get(name, name) if watch and name else name
+        via = (
+            f" through view alias {name!r}"
+            if param is not None and param != name
+            else ""
+        )
         return ctx.finding(
             node, self.rule,
-            f"function {fn.name!r} mutates argument {name!r} in place "
+            f"function {fn.name!r} mutates argument {param!r}{via} in place "
             f"without an out=/inplace contract (rename the parameter or "
             f"document the mutation in the docstring)",
         )

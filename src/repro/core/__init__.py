@@ -8,6 +8,8 @@
   ``v_bc = (ρ_α - ρ)/ξ`` (Eq. 2), the "lean" ingredient of LDC-DFT.
 * :mod:`repro.core.ldc` — the global-local SCF driver (Fig. 2) with
   ``mode="dc"`` (classic divide-and-conquer) and ``mode="ldc"`` switches.
+* :mod:`repro.core.workspace` — persistent per-trajectory cache of the
+  MD-step-invariant structures plus orbital warm starts (QMD hot path).
 * :mod:`repro.core.energy` — divide-and-conquer total-energy assembly.
 * :mod:`repro.core.forces` — per-domain Hellmann–Feynman forces.
 * :mod:`repro.core.complexity` — the cost/error model of Sec. 3.1 (Eq. 1,
@@ -16,6 +18,7 @@
 
 from repro.core.domains import Domain, DomainDecomposition
 from repro.core.ldc import LDCOptions, LDCResult, run_ldc
+from repro.core.workspace import LDCWorkspace
 from repro.core.parallel_ldc import ParallelLDCResult, run_parallel_ldc
 from repro.core.dcr import FrontierResult, density_of_states, recombine_frontier
 from repro.core.advisor import ParameterRecommendation, recommend_parameters
@@ -34,6 +37,7 @@ __all__ = [
     "DomainDecomposition",
     "LDCOptions",
     "LDCResult",
+    "LDCWorkspace",
     "run_ldc",
     "ParallelLDCResult",
     "run_parallel_ldc",

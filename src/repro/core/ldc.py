@@ -25,6 +25,8 @@ nonlocal projectors use the atoms inside each domain (core + buffer).
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -39,7 +41,13 @@ from repro.core.energy import (
 )
 from repro.core.support import supports
 from repro.dft.basis import PlaneWaveBasis
-from repro.dft.eigensolver import solve_all_band, solve_band_by_band, solve_direct
+from repro.dft.eigensolver import (
+    EigenResult,
+    record_solve,
+    solve_all_band,
+    solve_band_by_band,
+    solve_direct,
+)
 from repro.dft.ewald import ewald_energy
 from repro.dft.grid import RealSpaceGrid
 from repro.dft.hamiltonian import Hamiltonian
@@ -53,6 +61,7 @@ from repro.multigrid.poisson import MultigridPoisson
 from repro.systems.configuration import Configuration
 
 if TYPE_CHECKING:
+    from repro.core.workspace import LDCWorkspace
     from repro.observability.instrumentation import Instrumentation
 
 
@@ -96,8 +105,15 @@ class LDCOptions:
     #: under-relaxation of v_bc across SCF iterations (1.0 = no damping)
     vbc_damping: float = 0.5
     seed: int = 7
+    #: threads fanning the independent per-domain KS solves in each SCF
+    #: pass (NumPy's BLAS/FFT release the GIL); 1 = serial.  Physics is
+    #: identical either way — domains are independent and results are
+    #: folded in domain-index order (parity-tested).
+    ldc_workers: int = 1
 
     def __post_init__(self) -> None:
+        if int(self.ldc_workers) != self.ldc_workers or self.ldc_workers < 1:
+            raise ValueError("ldc_workers must be an integer >= 1")
         if self.mode not in ("ldc", "dc"):
             raise ValueError(f"mode must be 'ldc' or 'dc', got {self.mode!r}")
         if self.poisson not in ("fft", "multigrid"):
@@ -212,7 +228,11 @@ def _partition_residual(
     total = np.zeros(grid.shape)
     for state in states:
         ix, iy, iz = state.domain.grid_indices
-        np.add.at(total, np.ix_(ix, iy, iz), state.support)
+        # Direct fancy-index += is valid (and much faster than the
+        # unbuffered np.add.at): each per-axis wrapped index array is
+        # duplicate-free because a domain's extent never exceeds the grid —
+        # DomainDecomposition clamps buffer_points to (shape - core) // 2.
+        total[np.ix_(ix, iy, iz)] += state.support
     return float(np.abs(total - 1.0).max())
 
 
@@ -221,27 +241,80 @@ def _solve_domain(
     v_eff_domain: np.ndarray,
     options: LDCOptions,
     instrumentation: Instrumentation | None = None,
-) -> int:
-    """Solve the domain KS problem in place (updates psi, eigenvalues);
-    returns the eigensolver iteration count."""
+) -> EigenResult:
+    """Solve the domain KS problem in place (updates psi, eigenvalues).
+
+    Returns the full :class:`EigenResult`; ``result.fields`` carries the
+    converged real-space orbitals so the caller's density assembly skips a
+    redundant ``to_grid`` re-transform.
+    """
     ham = Hamiltonian(state.basis, v_eff_domain, state.vnl)
     if options.eigensolver == "direct":
-        res = solve_direct(ham, state.nband, instrumentation=instrumentation)
+        res = solve_direct(
+            ham, state.nband, instrumentation=instrumentation,
+            want_fields=True,
+        )
     elif options.eigensolver == "all_band":
         res = solve_all_band(
             ham, state.psi, max_iter=options.eig_max_iter, tol=options.eig_tol,
-            instrumentation=instrumentation,
+            instrumentation=instrumentation, want_fields=True,
         )
     elif options.eigensolver == "band_by_band":
         res = solve_band_by_band(
             ham, state.psi, tol=options.eig_tol,
-            instrumentation=instrumentation,
+            instrumentation=instrumentation, want_fields=True,
         )
     else:
         raise ValueError(f"unknown eigensolver {options.eigensolver!r}")
     state.psi = res.orbitals
     state.eigenvalues = res.eigenvalues
-    return res.iterations
+    return res
+
+
+def _domain_pass(
+    state: DomainState,
+    rho: np.ndarray,
+    v_hxc_global: np.ndarray,
+    v_ks_global: np.ndarray,
+    xi: float | None,
+    opts: LDCOptions,
+    ins: Instrumentation | None,
+) -> tuple[EigenResult, float | None]:
+    """The per-domain block of one SCF pass: restrict potentials, update
+    v_bc, solve, and stage band weights/densities on the state.
+
+    This is the unit of the ``ldc_workers`` fan-out.  When run on a worker
+    thread the caller passes ``ins=None`` — counters/series on the shared
+    instrumentation are not thread-safe, so the coordinating thread records
+    solve telemetry after the join (see ``record_solve``).  Each invocation
+    touches only its own ``state`` plus read-only global fields.
+    """
+    dom = state.domain
+    if state.v_ion_local is not None:
+        v_dom = dom.extract(v_hxc_global) + state.v_ion_local
+    else:
+        v_dom = dom.extract(v_ks_global)
+    rho_restricted = dom.extract(rho)
+    vbc_target = boundary_potential(state.rho_local, rho_restricted, xi)
+    if opts.vbc_region == "buffer":
+        # act only near the artificial boundary, not inside the core
+        vbc_target = vbc_target * (1.0 - state.support)
+    if state.vbc is None:
+        state.vbc = opts.vbc_damping * vbc_target
+    else:
+        state.vbc = (
+            1.0 - opts.vbc_damping
+        ) * state.vbc + opts.vbc_damping * vbc_target
+    res = _solve_domain(state, v_dom + state.vbc, opts, ins)
+    densities = np.abs(res.fields) ** 2  # per-band |ψ|²(r), reused fields
+    # band weights w_αn = ∫ p_α |ψ_n|² dr
+    w = np.einsum("nijk,ijk->n", densities, state.support) * dom.grid.dv
+    state.band_weights = w
+    state.band_densities = densities  # stashed for the density step
+    err: float | None = None
+    if state.rho_local is not None:
+        err = boundary_error_norm(state.rho_local, rho_restricted, dom.grid.dv)
+    return res, err
 
 
 def run_ldc(
@@ -251,6 +324,7 @@ def run_ldc(
     rho0: np.ndarray | None = None,
     grid: RealSpaceGrid | None = None,
     instrumentation: Instrumentation | None = None,
+    workspace: LDCWorkspace | None = None,
 ) -> LDCResult:
     """Run the LDC-DFT (or classic DC-DFT) SCF loop to self-consistency.
 
@@ -259,16 +333,25 @@ def run_ldc(
     spans, per-iteration residual/energy/μ/boundary-error series, and
     ``poisson.*`` telemetry when the multigrid solver is selected.  The
     default ``None`` executes no telemetry code.
+
+    ``workspace`` optionally accepts a persistent
+    :class:`~repro.core.workspace.LDCWorkspace`: the grid, decomposition,
+    partition of unity, per-domain bases, and Ewald structure come from its
+    cache, domain ψ are warm-started from the previous call's converged
+    orbitals, and the converged states are stored back for the next call.
+    Mutually exclusive with ``grid``.
     """
     opts = options or LDCOptions()
     if instrumentation is None:
-        return _run_ldc(config, opts, compute_forces, rho0, grid, None)
+        return _run_ldc(config, opts, compute_forces, rho0, grid, None,
+                        workspace)
     with instrumentation.span(
         "ldc.run", category="ldc", natoms=len(config.symbols),
         mode=opts.mode, domains=str(opts.domains), buffer=opts.buffer,
     ) as span:
         result = _run_ldc(
-            config, opts, compute_forces, rho0, grid, instrumentation
+            config, opts, compute_forces, rho0, grid, instrumentation,
+            workspace,
         )
         span.attrs.update(
             converged=result.converged, iterations=result.iterations,
@@ -294,22 +377,41 @@ def _run_ldc(
     rho0: np.ndarray | None,
     grid: RealSpaceGrid | None,
     ins: Instrumentation | None,
+    workspace: LDCWorkspace | None = None,
 ) -> LDCResult:
     """LDC implementation; ``ins`` is the instrumentation facade or None."""
     hm = None if ins is None else ins.health
-    if grid is None:
-        grid = make_global_grid(config, opts)
-    decomp = DomainDecomposition(grid, opts.domains, opts.buffer)
-    if ins is not None:
-        t_setup = ins.tracer.now()
-    pou = supports(decomp, opts.support)
-    states = _prepare_states(config, decomp, pou, opts)
-    if ins is not None:
-        ins.tracer.record_complete(
-            "ldc.partition_of_unity", ins.tracer.now() - t_setup,
-            category="ldc", ndomains=decomp.ndomains, support=opts.support,
-        )
-        ins.gauge("ldc.domains").set(decomp.ndomains)
+    ewald_structure = None
+    if workspace is not None:
+        if grid is not None:
+            raise ValueError("pass either grid= or workspace=, not both")
+        if ins is not None:
+            t_setup = ins.tracer.now()
+        grid, decomp, states = workspace.prepare(config, opts)
+        ewald_structure = workspace.ewald_structure(config)
+        if ins is not None:
+            ins.tracer.record_complete(
+                "ldc.workspace_prepare", ins.tracer.now() - t_setup,
+                category="ldc", ndomains=decomp.ndomains,
+                warm_domains=workspace.warm_domains,
+                cold_domains=workspace.cold_domains,
+            )
+            ins.gauge("ldc.domains").set(decomp.ndomains)
+            ins.gauge("ldc.warm_domains").set(workspace.warm_domains)
+    else:
+        if grid is None:
+            grid = make_global_grid(config, opts)
+        decomp = DomainDecomposition(grid, opts.domains, opts.buffer)
+        if ins is not None:
+            t_setup = ins.tracer.now()
+        pou = supports(decomp, opts.support)
+        states = _prepare_states(config, decomp, pou, opts)
+        if ins is not None:
+            ins.tracer.record_complete(
+                "ldc.partition_of_unity", ins.tracer.now() - t_setup,
+                category="ldc", ndomains=decomp.ndomains, support=opts.support,
+            )
+            ins.gauge("ldc.domains").set(decomp.ndomains)
     if hm is not None:
         hm.observe(
             "ldc.partition",
@@ -319,8 +421,13 @@ def _run_ldc(
 
     n_electrons = config.n_electrons()
     v_loc_global = local_potential(grid, config)
-    e_ewald = ewald_energy(config.wrapped_positions(), config.zvals, config.cell)
+    e_ewald = ewald_energy(
+        config.wrapped_positions(), config.zvals, config.cell,
+        structure=ewald_structure,
+    )
 
+    if rho0 is not None and rho0.shape != grid.shape:
+        rho0 = None  # stale-shaped warm start (grid changed) → cold start
     rho = initial_density(grid, config) if rho0 is None else rho0.copy()
     rho = renormalize(rho, n_electrons, grid.dv)
 
@@ -349,52 +456,75 @@ def _run_ldc(
 
     xi = opts.xi if opts.mode == "ldc" else None
 
-    for it in range(1, opts.max_iter + 1):
-        if ins is not None:
-            t_iter = ins.tracer.now()
-        mu, rho_out, components, bnd_err, vh_prev = _scf_pass(
-            grid, states, rho, v_loc_global, e_ewald, n_electrons,
-            xi, mg, vh_prev, opts, ins,
-        )  # vh_prev is reused as the next iteration's Poisson warm start
-        boundary_errors.append(bnd_err)
-        rho_out = renormalize(np.clip(rho_out, 0.0, None), n_electrons, grid.dv)
-        resid = grid.integrate(np.abs(rho_out - rho)) / max(n_electrons, 1.0)
-        residuals.append(resid)
-        history.append(components["total"])
-        if ins is not None:
-            ins.counter("scf.iterations", engine="ldc").inc()
-            ins.series("scf.residual", engine="ldc").append(resid)
-            ins.series("scf.energy", engine="ldc").append(components["total"])
-            ins.series("scf.mu", engine="ldc").append(mu)
-            ins.series("ldc.boundary_error").append(bnd_err)
-            ins.tracer.record_complete(
-                "ldc.iteration", ins.tracer.now() - t_iter, category="ldc",
-                iteration=it, residual=resid, boundary_error=bnd_err,
-            )
-            ins.log.debug(
-                "ldc iteration",
-                extra={"engine": "ldc", "iteration": it, "residual": resid,
-                       "energy": components["total"], "mu": mu,
-                       "boundary_error": bnd_err},
-            )
-        if hm is not None:
-            hm.observe(
-                "scf.residual", engine="ldc", iteration=it, residual=resid
-            )
-        if resid < opts.tol:
-            rho = rho_out
-            converged = True
-            break
-        rho = renormalize(
-            np.clip(mixer.mix(rho, rho_out), 0.0, None), n_electrons, grid.dv
-        )
-
-    # Final consistent evaluation at the converged density.
-    mu, rho_final, components, bnd_err, _ = _scf_pass(
-        grid, states, rho, v_loc_global, e_ewald, n_electrons,
-        xi, mg, vh_prev, opts, ins,
+    # One pool serves every SCF pass of this run (workers idle between
+    # passes; thread reuse avoids per-iteration spawn cost).
+    executor = (
+        ThreadPoolExecutor(max_workers=opts.ldc_workers)
+        if opts.ldc_workers > 1
+        else None
     )
+    try:
+        for it in range(1, opts.max_iter + 1):
+            if ins is not None:
+                t_iter = ins.tracer.now()
+            mu, rho_out, components, bnd_err, vh_prev = _scf_pass(
+                grid, states, rho, v_loc_global, e_ewald, n_electrons,
+                xi, mg, vh_prev, opts, ins, executor,
+            )  # vh_prev is reused as the next iteration's Poisson warm start
+            boundary_errors.append(bnd_err)
+            rho_out = renormalize(
+                np.clip(rho_out, 0.0, None), n_electrons, grid.dv
+            )
+            resid = grid.integrate(np.abs(rho_out - rho)) / max(
+                n_electrons, 1.0
+            )
+            residuals.append(resid)
+            history.append(components["total"])
+            if ins is not None:
+                ins.counter("scf.iterations", engine="ldc").inc()
+                ins.series("scf.residual", engine="ldc").append(resid)
+                ins.series("scf.energy", engine="ldc").append(
+                    components["total"]
+                )
+                ins.series("scf.mu", engine="ldc").append(mu)
+                ins.series("ldc.boundary_error").append(bnd_err)
+                ins.tracer.record_complete(
+                    "ldc.iteration", ins.tracer.now() - t_iter,
+                    category="ldc", iteration=it, residual=resid,
+                    boundary_error=bnd_err,
+                )
+                ins.log.debug(
+                    "ldc iteration",
+                    extra={"engine": "ldc", "iteration": it,
+                           "residual": resid,
+                           "energy": components["total"], "mu": mu,
+                           "boundary_error": bnd_err},
+                )
+            if hm is not None:
+                hm.observe(
+                    "scf.residual", engine="ldc", iteration=it, residual=resid
+                )
+            if resid < opts.tol:
+                rho = rho_out
+                converged = True
+                break
+            rho = renormalize(
+                np.clip(mixer.mix(rho, rho_out), 0.0, None), n_electrons,
+                grid.dv,
+            )
+
+        # Final consistent evaluation at the converged density.
+        mu, rho_final, components, bnd_err, _ = _scf_pass(
+            grid, states, rho, v_loc_global, e_ewald, n_electrons,
+            xi, mg, vh_prev, opts, ins, executor,
+        )
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
     rho_final = renormalize(np.clip(rho_final, 0.0, None), n_electrons, grid.dv)
+
+    if workspace is not None:
+        workspace.store(states)  # next step's orbital warm start
 
     if hm is not None:
         hm.observe(
@@ -440,8 +570,13 @@ def _scf_pass(
     vh_warm: np.ndarray | None,
     opts: LDCOptions,
     ins: Instrumentation | None = None,
+    executor: ThreadPoolExecutor | None = None,
 ) -> tuple[float, np.ndarray, dict[str, float], float, np.ndarray]:
     """One global-local pass: potentials → domain solves → μ → density.
+
+    The per-domain solves are independent; with ``executor`` set they fan
+    out across threads and the results are folded back in domain-index
+    order, so the assembled physics is identical to the serial path.
 
     Returns (μ, assembled density, energy components, mean boundary-density
     error, Hartree potential field — the caller's Poisson warm start).
@@ -459,54 +594,68 @@ def _scf_pass(
     bnd_err_total = 0.0
     n_active = 0
 
-    for idom, state in enumerate(states):
-        if state.nband == 0:
-            continue
-        dom = state.domain
-        if state.v_ion_local is not None:
-            v_dom = dom.extract(v_hxc_global) + state.v_ion_local
-        else:
-            v_dom = dom.extract(v_ks_global)
-        rho_restricted = dom.extract(rho)
-        vbc_target = boundary_potential(state.rho_local, rho_restricted, xi)
-        if opts.vbc_region == "buffer":
-            # act only near the artificial boundary, not inside the core
-            vbc_target = vbc_target * (1.0 - state.support)
-        if state.vbc is None:
-            state.vbc = opts.vbc_damping * vbc_target
-        else:
-            state.vbc = (
-                1.0 - opts.vbc_damping
-            ) * state.vbc + opts.vbc_damping * vbc_target
-        if ins is None:
-            _solve_domain(state, v_dom + state.vbc, opts)
-        else:
-            with ins.span(
-                "ldc.domain_solve", category="ldc", domain=idom,
-                natoms=len(state.atom_indices), nband=state.nband,
-            ) as sp:
-                iters = _solve_domain(state, v_dom + state.vbc, opts, ins)
-                # solve sizes feed the per-kernel FLOP attribution
-                # (repro.observability.costattr) at report time
-                sp.attrs.update(
-                    npw=state.basis.npw,
-                    grid_points=int(np.prod(dom.grid.shape)),
-                    nproj=len(state.vnl.d), cg_iterations=iters,
-                )
+    active = [(idom, s) for idom, s in enumerate(states) if s.nband > 0]
+    outcomes: list[tuple[EigenResult, float | None, float | None]]
+    if executor is not None and len(active) > 1:
 
-        assert state.basis is not None and state.eigenvalues is not None
-        fields = state.basis.to_grid(state.psi)  # (nband, *domain shape)
-        densities = np.abs(fields) ** 2  # per-band |ψ|²(r)
-        # band weights w_αn = ∫ p_α |ψ_n|² dr
-        w = np.einsum("nijk,ijk->n", densities, state.support) * dom.grid.dv
-        state.band_weights = w
-        state.band_densities = densities  # stashed for the density step
-        all_eigs.append(state.eigenvalues)
-        all_weights.append(w)
-        if state.rho_local is not None:
-            err = boundary_error_norm(
-                state.rho_local, rho_restricted, dom.grid.dv
+        def _run_one(
+            item: tuple[int, DomainState],
+        ) -> tuple[EigenResult, float | None, float | None]:
+            # Workers never touch the shared instrumentation (its counters
+            # and series are not thread-safe); they only time themselves so
+            # the coordinating thread can emit the span after the join.
+            t0 = time.perf_counter() if ins is not None else 0.0
+            res, err = _domain_pass(
+                item[1], rho, v_hxc_global, v_ks_global, xi, opts, None
             )
+            dt = (time.perf_counter() - t0) if ins is not None else None
+            return res, err, dt
+
+        # executor.map preserves input order → deterministic fold below
+        outcomes = list(executor.map(_run_one, active))
+    else:
+        outcomes = []
+        for idom, state in active:
+            if ins is None:
+                res, err = _domain_pass(
+                    state, rho, v_hxc_global, v_ks_global, xi, opts, None
+                )
+                outcomes.append((res, err, None))
+            else:
+                with ins.span(
+                    "ldc.domain_solve", category="ldc", domain=idom,
+                    natoms=len(state.atom_indices), nband=state.nband,
+                ) as sp:
+                    res, err = _domain_pass(
+                        state, rho, v_hxc_global, v_ks_global, xi, opts, ins
+                    )
+                    # solve sizes feed the per-kernel FLOP attribution
+                    # (repro.observability.costattr) at report time
+                    sp.attrs.update(
+                        npw=state.basis.npw,
+                        grid_points=int(np.prod(state.domain.grid.shape)),
+                        nproj=len(state.vnl.d), cg_iterations=res.iterations,
+                    )
+                outcomes.append((res, err, None))
+
+    for (idom, state), (res, err, dt) in zip(active, outcomes):
+        assert state.basis is not None and state.eigenvalues is not None
+        if ins is not None and dt is not None:
+            # phase-safe telemetry for the parallel path: same span name and
+            # attrs as the serial path, recorded post-join with the worker's
+            # measured duration, plus the eigensolver counters the worker
+            # deliberately skipped
+            ins.tracer.record_complete(
+                "ldc.domain_solve", dt, category="ldc", domain=idom,
+                natoms=len(state.atom_indices), nband=state.nband,
+                npw=state.basis.npw,
+                grid_points=int(np.prod(state.domain.grid.shape)),
+                nproj=len(state.vnl.d), cg_iterations=res.iterations,
+            )
+            record_solve(ins, opts.eigensolver, state.basis.npw, res)
+        all_eigs.append(state.eigenvalues)
+        all_weights.append(state.band_weights)
+        if err is not None:
             bnd_err_total += err
             n_active += 1
             if ins is not None:
@@ -531,7 +680,12 @@ def _scf_pass(
         state.rho_local = rho_a
         state.band_densities = None  # release the per-band fields
         ix, iy, iz = state.domain.grid_indices
-        np.add.at(rho_new, np.ix_(ix, iy, iz), state.support * rho_a)
+        # Fancy-index += (not np.add.at): each per-axis wrapped index array
+        # is duplicate-free — a domain's extent never exceeds the grid shape
+        # (DomainDecomposition clamps buffer_points to (shape - core) // 2) —
+        # so the buffered read-modify-write is exact and skips np.add.at's
+        # slow unbuffered element-wise path.
+        rho_new[np.ix_(ix, iy, iz)] += state.support * rho_a
         rho_locals.append(rho_a)
         if state.vbc is not None:
             vbcs.append(state.vbc)

@@ -1,0 +1,235 @@
+"""Persistent LDC workspace: MD-step-invariant state, cached once per cell.
+
+The paper's headline metric is QMD time-to-solution — atoms × SCF iterations
+per second (Sec. 5.2/6).  Between MD steps the *cell* is fixed; only atom
+positions move.  Everything derived purely from the cell and the solver
+options is therefore invariant across steps:
+
+* the global real-space grid,
+* the domain decomposition (cores + buffers),
+* the partition-of-unity supports p_α(r),
+* each domain's plane-wave basis (cutoff sphere on the domain grid),
+* the Ewald image shifts and reciprocal vectors.
+
+``run_ldc`` without a workspace rebuilds all of these every call.  An
+:class:`LDCWorkspace` builds them once, re-bins the atoms each step, and
+rebuilds only the atom-dependent pieces — the nonlocal projectors and
+(in ``vion="domain"`` mode) the domain-local ionic potentials.
+
+On top of the structural reuse the workspace **warm-starts each domain's
+orbitals** from its previous converged ψ, together with the settled
+boundary potential v_bc and local density ρ_α (restarting the damped v_bc
+iteration from zero would otherwise dominate the step-2 SCF count).  A
+domain whose band count changed (atoms migrated across a boundary between
+steps) falls back to the same deterministic random start the cold path
+uses.  Orbital warm starts are the
+dominant lever on MD throughput: the eigensolver starts inside the converged
+subspace of the previous step and typically needs a small fraction of the
+cold iteration count (cf. DGDFT, arXiv:2003.00407; Scheiber et al.,
+arXiv:1803.04536).
+
+Thread it through :func:`repro.core.ldc.run_ldc` via ``workspace=``;
+:class:`repro.md.qmd.LDCEngine` creates one automatically so ``QMDDriver``
+trajectories get the reuse for free.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.domains import DomainDecomposition
+from repro.core.support import supports
+from repro.dft.basis import PlaneWaveBasis
+from repro.dft.ewald import EwaldStructure
+from repro.dft.grid import RealSpaceGrid
+from repro.dft.pseudopotential import NonlocalProjectors, local_potential
+from repro.systems.configuration import Configuration
+
+if TYPE_CHECKING:
+    from repro.core.ldc import DomainState, LDCOptions
+
+
+def _options_signature(options: LDCOptions) -> tuple:
+    """The option fields the cached structures depend on.
+
+    A change in any of these invalidates the grid/decomposition/bases (and
+    with them the orbital cache); other options (tolerances, mixing, damping)
+    only steer the SCF loop and leave the cached geometry valid.
+    """
+    return (
+        options.ecut,
+        tuple(options.domains),
+        options.buffer,
+        options.grid_factor,
+        options.support,
+        options.extra_bands,
+        options.vion,
+        options.seed,
+    )
+
+
+class LDCWorkspace:
+    """Reusable LDC solver state for a trajectory in a fixed cell.
+
+    Usage::
+
+        ws = LDCWorkspace()
+        for step in trajectory:
+            result = run_ldc(config, opts, workspace=ws, rho0=rho_prev)
+
+    ``prepare`` detects cell / option changes and resets itself, so a single
+    workspace can safely outlive a cell swap — it just pays one cold rebuild.
+    Not thread-safe: one workspace per trajectory.
+    """
+
+    def __init__(self) -> None:
+        self._cell: np.ndarray | None = None
+        self._signature: tuple | None = None
+        self.grid: RealSpaceGrid | None = None
+        self.decomposition: DomainDecomposition | None = None
+        self.pou: list[np.ndarray] | None = None
+        self._bases: dict[int, PlaneWaveBasis] = {}
+        #: converged per-domain solver state (ψ, v_bc, ρ_α) saved by
+        #: :meth:`store`, keyed by domain index
+        self._solver_state: dict[
+            int, tuple[np.ndarray, np.ndarray | None, np.ndarray | None]
+        ] = {}
+        self._ewald: EwaldStructure | None = None
+        #: per-``prepare`` stats: domains seeded from cached orbitals vs
+        #: random (fresh build, or band count changed after atom migration)
+        self.warm_domains: int = 0
+        self.cold_domains: int = 0
+        #: number of ``prepare`` calls since the last reset
+        self.steps: int = 0
+
+    # -- cache lifecycle -----------------------------------------------------
+
+    @property
+    def has_orbitals(self) -> bool:
+        """Whether the next ``prepare`` can seed any domain from cached ψ."""
+        return bool(self._solver_state)
+
+    def reset(self) -> None:
+        """Drop everything (structures and orbital cache)."""
+        self._cell = None
+        self._signature = None
+        self.grid = None
+        self.decomposition = None
+        self.pou = None
+        self._bases.clear()
+        self._solver_state.clear()
+        self._ewald = None
+        self.warm_domains = 0
+        self.cold_domains = 0
+        self.steps = 0
+
+    def _ensure_structures(
+        self, config: Configuration, options: LDCOptions
+    ) -> None:
+        from repro.core.ldc import make_global_grid
+
+        cell = np.asarray(config.cell, dtype=float).reshape(3)
+        sig = _options_signature(options)
+        if (
+            self._cell is not None
+            and np.array_equal(self._cell, cell)
+            and self._signature == sig
+        ):
+            return
+        self.reset()
+        self._cell = cell.copy()
+        self._signature = sig
+        self.grid = make_global_grid(config, options)
+        self.decomposition = DomainDecomposition(
+            self.grid, options.domains, options.buffer
+        )
+        self.pou = supports(self.decomposition, options.support)
+
+    def ewald_structure(self, config: Configuration) -> EwaldStructure:
+        """The cached Ewald geometry for this cell (built on first use)."""
+        natoms = len(config.symbols)
+        if self._ewald is None or not self._ewald.matches(
+            config.cell, natoms
+        ):
+            self._ewald = EwaldStructure.build(config.cell, natoms)
+        return self._ewald
+
+    # -- per-step state ------------------------------------------------------
+
+    def prepare(
+        self, config: Configuration, options: LDCOptions
+    ) -> tuple[RealSpaceGrid, DomainDecomposition, list[DomainState]]:
+        """Bin atoms into the cached decomposition and build per-step states.
+
+        Structural pieces (grid, decomposition, supports, bases) come from
+        the cache; atom-dependent pieces (nonlocal projectors, domain-local
+        ionic potentials) are rebuilt.  Each domain's ψ is seeded from the
+        previous step's converged orbitals when its band count is unchanged,
+        otherwise from the cold path's deterministic random start.
+        """
+        from repro.core.ldc import DomainState
+
+        self._ensure_structures(config, options)
+        assert self.grid is not None
+        assert self.decomposition is not None and self.pou is not None
+        decomp = self.decomposition
+        self.warm_domains = 0
+        self.cold_domains = 0
+        states: list[DomainState] = []
+        for idom, (dom, w) in enumerate(zip(decomp.domains, self.pou)):
+            idx, local = decomp.atoms_in_domain(config, dom)
+            if len(idx) == 0:
+                states.append(
+                    DomainState(dom, idx, local, None, None, w, nband=0)
+                )
+                continue
+            basis = self._bases.get(idom)
+            if basis is None:
+                basis = PlaneWaveBasis(dom.grid, options.ecut)
+                self._bases[idom] = basis
+            vnl = NonlocalProjectors(basis, local)
+            ne_local = local.n_electrons()
+            nband = min(
+                int(np.ceil(ne_local / 2.0)) + options.extra_bands, basis.npw
+            )
+            cached = self._solver_state.get(idom)
+            vbc = rho_local = None
+            if cached is not None and cached[0].shape == (basis.npw, nband):
+                # warm: previous converged ψ, plus the settled boundary
+                # potential and local density — without them the damped
+                # v_bc iteration re-converges from scratch and the orbital
+                # warm start buys far less
+                psi, vbc, rho_local = cached
+                self.warm_domains += 1
+            else:
+                # same deterministic seeding as the cold path in
+                # _prepare_states (seed offset is the domain index)
+                psi = basis.random_orbitals(
+                    nband, seed=options.seed + 131 * idom
+                )
+                self.cold_domains += 1
+            v_ion = (
+                local_potential(dom.grid, local)
+                if options.vion == "domain"
+                else None
+            )
+            states.append(
+                DomainState(
+                    dom, idx, local, basis, vnl, w, nband=nband, psi=psi,
+                    v_ion_local=v_ion, vbc=vbc, rho_local=rho_local,
+                )
+            )
+        self.steps += 1
+        return self.grid, decomp, states
+
+    def store(self, states: list[DomainState]) -> None:
+        """Save each domain's converged solver state (ψ, v_bc, ρ_α) for the
+        next step's warm start."""
+        self._solver_state.clear()
+        for idom, state in enumerate(states):
+            if state.nband and state.psi is not None:
+                self._solver_state[idom] = (
+                    state.psi, state.vbc, state.rho_local
+                )

@@ -8,6 +8,14 @@ solver.
 
 Orbitals are stored column-wise: ``psi`` has shape ``(npw, nband)``, so the
 all-band operations of Sec. 3.4 are plain matrix-matrix products.
+
+Hot-path note: :meth:`PlaneWaveBasis.to_grid` reuses a per-instance
+``(nband, npoints)`` scratch buffer instead of allocating (and zeroing) a
+fresh one per call — the transform runs once per eigensolver iteration per
+domain, so the allocation was a measurable constant on the QMD hot path.
+A consequence is that a single ``PlaneWaveBasis`` instance must not be used
+by two threads concurrently; the LDC driver gives every domain its own
+basis, so the per-domain fan-out of ``ldc_workers`` stays safe.
 """
 
 from __future__ import annotations
@@ -48,8 +56,21 @@ class PlaneWaveBasis:
         self.miller = miller[self.indices]
         self._norm_to_grid = grid.npoints / np.sqrt(grid.volume)
         self._norm_from_grid = np.sqrt(grid.volume) / grid.npoints
+        #: reusable (nband, npoints) coefficient-spread scratch; only the
+        #: ``indices`` columns are ever written, so rows stay zero elsewhere
+        #: and the buffer never needs re-zeroing between calls
+        self._spread_buf = np.zeros((0, grid.npoints), dtype=complex)
 
     # -- transforms ----------------------------------------------------------
+
+    def _scratch(self, nband: int) -> np.ndarray:
+        """The preallocated ``(nband, npoints)`` spread buffer (grown on
+        demand; rows beyond previous use are zero by construction)."""
+        if self._spread_buf.shape[0] < nband:
+            self._spread_buf = np.zeros(
+                (nband, self.grid.npoints), dtype=complex
+            )
+        return self._spread_buf[:nband]
 
     def to_grid(self, coeffs: np.ndarray) -> np.ndarray:
         """Coefficients → real-space orbital(s).
@@ -62,7 +83,7 @@ class PlaneWaveBasis:
         if single:
             coeffs = coeffs[:, None]
         nband = coeffs.shape[1]
-        buf = np.zeros((nband, self.grid.npoints), dtype=complex)
+        buf = self._scratch(nband)
         buf[:, self.indices] = coeffs.T
         fields = np.fft.ifftn(
             buf.reshape((nband,) + self.grid.shape), axes=(1, 2, 3)
@@ -105,6 +126,19 @@ def density_from_orbitals(
     occupations = np.asarray(occupations, dtype=float)
     if psi.shape[1] != occupations.size:
         raise ValueError("one occupation per band required")
-    fields = basis.to_grid(psi)  # (nband, *shape)
-    rho = np.einsum("n,nijk->ijk", occupations, np.abs(fields) ** 2)
-    return rho
+    return density_from_fields(basis.to_grid(psi), occupations)
+
+
+def density_from_fields(
+    fields: np.ndarray, occupations: np.ndarray
+) -> np.ndarray:
+    """``ρ(r) = Σ_n f_n |ψ_n(r)|²`` from precomputed real-space fields.
+
+    The drivers obtain ``fields`` from :attr:`EigenResult.fields` (the
+    eigensolver's final ``H·ψ`` transform, reused) instead of re-running
+    :meth:`PlaneWaveBasis.to_grid` on the converged orbitals.
+    """
+    occupations = np.asarray(occupations, dtype=float)
+    if fields.shape[0] != occupations.size:
+        raise ValueError("one occupation per band required")
+    return np.einsum("n,nijk->ijk", occupations, np.abs(fields) ** 2)

@@ -29,17 +29,26 @@ from repro.util.linalg import cholesky_orthonormalize
 
 @dataclass
 class EigenResult:
-    """Solver output: eigenvalues, orbitals, and convergence diagnostics."""
+    """Solver output: eigenvalues, orbitals, and convergence diagnostics.
+
+    ``fields`` (present when a solver was called with ``want_fields=True``)
+    holds the real-space orbitals ``ψ_n(r)`` of the returned block, shape
+    ``(nband, *grid.shape)`` — reused from the final ``Hamiltonian.apply``
+    (a cheap subspace rotation of already-computed fields) where possible,
+    so downstream density assembly skips a redundant batched FFT.
+    """
 
     eigenvalues: np.ndarray
     orbitals: np.ndarray
     iterations: int
     residual_norm: float
     converged: bool
+    fields: np.ndarray | None = None
 
 
 def solve_direct(
-    ham: Hamiltonian, nband: int, instrumentation=None
+    ham: Hamiltonian, nband: int, instrumentation=None,
+    want_fields: bool = False,
 ) -> EigenResult:
     """Dense-diagonalization reference solver."""
     if nband > ham.basis.npw:
@@ -48,23 +57,27 @@ def solve_direct(
         )
     h = ham.dense()
     evals, evecs = np.linalg.eigh(h)
+    orbitals = np.ascontiguousarray(evecs[:, :nband])
     result = EigenResult(
         eigenvalues=evals[:nband].copy(),
-        orbitals=np.ascontiguousarray(evecs[:, :nband]),
+        orbitals=orbitals,
         iterations=1,
         residual_norm=0.0,
         converged=True,
+        fields=ham.basis.to_grid(orbitals) if want_fields else None,
     )
     if instrumentation is not None:
-        _record_solve(instrumentation, "direct", ham, result)
+        record_solve(instrumentation, "direct", ham.basis.npw, result)
     return result
 
 
-def _record_solve(ins, solver: str, ham: Hamiltonian, result: EigenResult) -> None:
+def record_solve(ins, solver: str, npw: int, result: EigenResult) -> None:
     """Telemetry for one eigensolve (shared by all three solvers).
 
     Recorded once per solve — never inside the CG inner loop — so enabling
     instrumentation does not perturb the BLAS2/BLAS3 hot paths it measures.
+    Public so the LDC parallel fan-out can record a worker thread's solve
+    from the coordinating thread after the join (phase-safe telemetry).
     """
     ins.counter("eigensolver.solves", solver=solver).inc()
     ins.counter("eigensolver.iterations", solver=solver).inc(result.iterations)
@@ -80,7 +93,7 @@ def _record_solve(ins, solver: str, ham: Hamiltonian, result: EigenResult) -> No
         "eigensolve done",
         extra={
             "solver": solver,
-            "npw": ham.basis.npw,
+            "npw": npw,
             "nband": result.orbitals.shape[1],
             "iterations": result.iterations,
             "residual": result.residual_norm,
@@ -98,6 +111,7 @@ def solve_all_band(
     max_iter: int = 60,
     tol: float = 1e-8,
     instrumentation=None,
+    want_fields: bool = False,
 ) -> EigenResult:
     """Locally optimal block preconditioned CG over all bands at once.
 
@@ -106,10 +120,25 @@ def solve_all_band(
     The Rayleigh–Ritz solves and orthonormalizations are the Cholesky-based
     scheme of Sec. 3.3.
     """
-    result = _solve_all_band(ham, psi0, max_iter, tol)
+    result = _solve_all_band(ham, psi0, max_iter, tol, want_fields)
     if instrumentation is not None:
-        _record_solve(instrumentation, "all_band", ham, result)
+        record_solve(instrumentation, "all_band", ham.basis.npw, result)
     return result
+
+
+def _rotated_fields(
+    ham: Hamiltonian, x_rot: np.ndarray, fx: np.ndarray | None, u: np.ndarray
+) -> np.ndarray:
+    """Real-space fields of ``x_rot = x @ u``.
+
+    When ``fx`` (the fields of pre-rotation ``x``, captured from the final
+    ``ham.apply``) is available, a subspace rotation replaces the batched
+    FFT: ``to_grid(x @ u)[k] = Σ_m u[m, k] · fx[m]``.  Otherwise fall back
+    to one transform — never more than the old post-solve re-transform cost.
+    """
+    if fx is not None:
+        return np.tensordot(u, fx, axes=(0, 0))
+    return ham.basis.to_grid(x_rot)
 
 
 def _solve_all_band(
@@ -117,10 +146,13 @@ def _solve_all_band(
     psi0: np.ndarray,
     max_iter: int,
     tol: float,
+    want_fields: bool = False,
 ) -> EigenResult:
     x = cholesky_orthonormalize(np.asarray(psi0, dtype=complex))
     nband = x.shape[1]
-    hx = ham.apply(x)
+    cap: list[np.ndarray] | None = [] if want_fields else None
+    hx = ham.apply(x, fields_out=cap)
+    fx = cap.pop() if cap else None  # fields of the current X block
     p = None
     resid_norm = np.inf
     it = 0
@@ -129,12 +161,17 @@ def _solve_all_band(
         hsub = x.conj().T @ hx
         hsub = 0.5 * (hsub + hsub.conj().T)
         eps, u = np.linalg.eigh(hsub)
-        x = x @ u
-        hx = hx @ u
-        r = hx - x * eps[None, :]
+        x_rot = x @ u
+        hx_rot = hx @ u
+        r = hx_rot - x_rot * eps[None, :]
         resid_norm = float(np.max(np.linalg.norm(r, axis=0)))
         if resid_norm < tol:
-            return EigenResult(eps.copy(), x, it, resid_norm, True)
+            fields = (
+                _rotated_fields(ham, x_rot, fx, u) if want_fields else None
+            )
+            return EigenResult(eps.copy(), x_rot, it, resid_norm, True,
+                               fields=fields)
+        x, hx = x_rot, hx_rot
 
         w = ham.precondition(r, x)
         # Project W against X and orthonormalize internally.
@@ -166,13 +203,19 @@ def _solve_all_band(
         # Re-apply H only if orthonormalization changed X materially.
         if np.allclose(x, x_new, atol=1e-12):
             hx = hx_new
+            fx = None  # fields of the new X were never computed
         else:
-            hx = ham.apply(x)
+            cap = [] if want_fields else None
+            hx = ham.apply(x, fields_out=cap)
+            fx = cap.pop() if cap else None
     # Final clean Rayleigh–Ritz to return well-ordered pairs.
     hsub = x.conj().T @ hx
     hsub = 0.5 * (hsub + hsub.conj().T)
     eps, u = np.linalg.eigh(hsub)
-    return EigenResult(eps.copy(), x @ u, it, resid_norm, resid_norm < tol)
+    x_rot = x @ u
+    fields = _rotated_fields(ham, x_rot, fx, u) if want_fields else None
+    return EigenResult(eps.copy(), x_rot, it, resid_norm, resid_norm < tol,
+                       fields=fields)
 
 
 def _safe_orthonormalize(block: np.ndarray) -> np.ndarray:
@@ -202,6 +245,7 @@ def solve_band_by_band(
     cg_per_band: int = 5,
     outer_sweeps: int = 12,
     instrumentation=None,
+    want_fields: bool = False,
 ) -> EigenResult:
     """Sequential per-band preconditioned CG (the original BLAS2 scheme).
 
@@ -209,9 +253,11 @@ def solve_band_by_band(
     the bands below it, with ``cg_per_band`` CG steps per sweep and
     ``outer_sweeps`` sweeps with Rayleigh–Ritz rotations between them.
     """
-    result = _solve_band_by_band(ham, psi0, tol, cg_per_band, outer_sweeps)
+    result = _solve_band_by_band(
+        ham, psi0, tol, cg_per_band, outer_sweeps, want_fields
+    )
     if instrumentation is not None:
-        _record_solve(instrumentation, "band_by_band", ham, result)
+        record_solve(instrumentation, "band_by_band", ham.basis.npw, result)
     return result
 
 
@@ -221,6 +267,7 @@ def _solve_band_by_band(
     tol: float,
     cg_per_band: int,
     outer_sweeps: int,
+    want_fields: bool = False,
 ) -> EigenResult:
     x = cholesky_orthonormalize(np.asarray(psi0, dtype=complex))
     nband = x.shape[1]
@@ -273,7 +320,9 @@ def _solve_band_by_band(
             x[:, n] = psi
         # Subspace rotation after each sweep.
         x = cholesky_orthonormalize(x)
-        hx = ham.apply(x)
+        cap: list[np.ndarray] | None = [] if want_fields else None
+        hx = ham.apply(x, fields_out=cap)
+        fx = cap.pop() if cap else None
         hsub = x.conj().T @ hx
         hsub = 0.5 * (hsub + hsub.conj().T)
         eps_all, u = np.linalg.eigh(hsub)
@@ -282,8 +331,12 @@ def _solve_band_by_band(
         r = hx - x * eps_all[None, :]
         resid_norm = float(np.max(np.linalg.norm(r, axis=0)))
         if resid_norm < tol:
-            return EigenResult(eps_all.copy(), x, total_iter, resid_norm, True)
-    return EigenResult(eps_all.copy(), x, total_iter, resid_norm, resid_norm < tol)
+            fields = np.tensordot(u, fx, axes=(0, 0)) if want_fields else None
+            return EigenResult(eps_all.copy(), x, total_iter, resid_norm, True,
+                               fields=fields)
+    fields = np.tensordot(u, fx, axes=(0, 0)) if want_fields else None
+    return EigenResult(eps_all.copy(), x, total_iter, resid_norm,
+                       resid_norm < tol, fields=fields)
 
 
 def _project_out(vec: np.ndarray, block: np.ndarray) -> np.ndarray:

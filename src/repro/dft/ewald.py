@@ -17,6 +17,8 @@ that tolerance (tested).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 from scipy.special import erfc
 
@@ -51,6 +53,53 @@ def _recip_vectors(cell: np.ndarray, gcut: float) -> np.ndarray:
     return gs[keep]
 
 
+@dataclass(frozen=True)
+class EwaldStructure:
+    """Geometry-only Ewald setup, reusable across MD steps of a fixed cell.
+
+    The splitting parameter, truncation radii, real-space image shifts, and
+    reciprocal vectors depend only on the cell and the atom *count* — not the
+    positions — so a QMD trajectory can build this once per cell and pass it
+    to :func:`ewald` on every step, skipping the image/G-vector enumeration.
+    Held by :class:`repro.core.workspace.LDCWorkspace` (no module-level
+    cache; the structure is threaded explicitly).
+    """
+
+    cell: np.ndarray
+    natoms: int
+    eta: float
+    shifts: np.ndarray
+    gs: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        cell: np.ndarray,
+        natoms: int,
+        eta: float | None = None,
+        tolerance: float = 1e-10,
+    ) -> EwaldStructure:
+        cell = np.asarray(cell, dtype=float).reshape(3)
+        if eta is None:
+            eta = _choose_eta(cell, natoms)
+        x = np.sqrt(max(-np.log(tolerance), 1.0))
+        rcut = (x + 1.0) / eta
+        gcut = 2.0 * eta * (x + 1.0)
+        return cls(
+            cell=cell,
+            natoms=int(natoms),
+            eta=float(eta),
+            shifts=_real_space_images(cell, rcut),
+            gs=_recip_vectors(cell, gcut),
+        )
+
+    def matches(self, cell: np.ndarray, natoms: int) -> bool:
+        cell = np.asarray(cell, dtype=float).reshape(3)
+        return self.natoms == int(natoms) and bool(
+            np.array_equal(self.cell, cell)
+        )
+
+
 def ewald(
     positions: np.ndarray,
     charges: np.ndarray,
@@ -58,6 +107,7 @@ def ewald(
     eta: float | None = None,
     tolerance: float = 1e-10,
     compute_forces: bool = True,
+    structure: EwaldStructure | None = None,
 ) -> tuple[float, np.ndarray | None]:
     """Ewald energy (Hartree) and forces (Hartree/Bohr) for point charges.
 
@@ -75,6 +125,10 @@ def ewald(
         Truncation tolerance for both sums.
     compute_forces:
         Skip the force accumulation when ``False``.
+    structure:
+        Precomputed :class:`EwaldStructure` for this (cell, atom count);
+        skips the image-shift and G-vector enumeration.  Must match the
+        given cell and atom count (checked).
 
     Returns
     -------
@@ -86,7 +140,13 @@ def ewald(
     n = len(positions)
     if charges.shape != (n,):
         raise ValueError("one charge per atom required")
-    if eta is None:
+    if structure is not None:
+        if not structure.matches(cell, n):
+            raise ValueError(
+                "EwaldStructure was built for a different cell or atom count"
+            )
+        eta = structure.eta
+    elif eta is None:
         eta = _choose_eta(cell, n)
 
     # Truncation radii from erfc(η r) ~ tol and exp(-G²/4η²) ~ tol.
@@ -101,7 +161,10 @@ def ewald(
     forces = np.zeros((n, 3), dtype=float) if compute_forces else None
 
     # ---- real-space sum (vectorized over pairs, looped over images) -------
-    shifts = _real_space_images(cell, rcut)
+    shifts = (
+        structure.shifts if structure is not None
+        else _real_space_images(cell, rcut)
+    )
     diff = positions[:, None, :] - positions[None, :, :]  # (n, n, 3)
     qq = charges[:, None] * charges[None, :]
     for shift in shifts:
@@ -126,7 +189,7 @@ def ewald(
             np.add.at(forces, idx_i, fvec)
 
     # ---- reciprocal-space sum ---------------------------------------------
-    gs = _recip_vectors(cell, gcut)
+    gs = structure.gs if structure is not None else _recip_vectors(cell, gcut)
     if len(gs):
         g2 = np.sum(gs * gs, axis=1)
         phase = gs @ positions.T  # (ng, n)

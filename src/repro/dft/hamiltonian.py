@@ -37,18 +37,35 @@ class Hamiltonian:
 
     # -- application ----------------------------------------------------------
 
-    def apply(self, psi: np.ndarray) -> np.ndarray:
-        """H Ψ for a block of orbitals ``(npw, nband)`` (or a single vector)."""
+    def apply(
+        self, psi: np.ndarray, fields_out: list[np.ndarray] | None = None
+    ) -> np.ndarray:
+        """H Ψ for a block of orbitals ``(npw, nband)`` (or a single vector).
+
+        The kinetic term seeds a fresh output block and the local/nonlocal
+        terms accumulate into it in place — no intermediate ``out + ...``
+        copies of the ``(npw, nband)`` block are made.
+
+        ``fields_out``, when given, receives the real-space orbital fields
+        ``ψ_n(r)`` (appended as one ``(nband, *grid.shape)`` array, unscaled
+        by the potential) — the transform is computed here anyway, so
+        callers that need ``|ψ|²`` afterwards can reuse it instead of paying
+        a second batched FFT (see the LDC band-density assembly).
+        """
         single = psi.ndim == 1
         if single:
             psi = psi[:, None]
         out = self.kinetic[:, None] * psi
         # local potential: to grid (batched FFT), multiply, back
         fields = self.basis.to_grid(psi)
-        fields *= self.v_eff[None, :, :, :]
-        out = out + self.basis.from_grid(fields)
+        if fields_out is not None:
+            fields_out.append(fields)
+            fields = fields * self.v_eff[None, :, :, :]
+        else:
+            fields *= self.v_eff[None, :, :, :]
+        out += self.basis.from_grid(fields)
         if self.vnl is not None and self.vnl.nproj:
-            out = out + self.vnl.apply(psi)
+            out += self.vnl.apply(psi)
         return out[:, 0] if single else out
 
     def expectation(self, psi: np.ndarray) -> np.ndarray:

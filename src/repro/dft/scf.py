@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.dft.basis import PlaneWaveBasis, density_from_orbitals
+from repro.dft.basis import PlaneWaveBasis, density_from_fields
 from repro.dft.eigensolver import (
     EigenResult,
     solve_all_band,
@@ -143,16 +143,22 @@ def _solve(
     opts: SCFOptions,
     instrumentation: Instrumentation | None = None,
 ) -> EigenResult:
+    # want_fields=True: the returned real-space fields feed the density
+    # build directly, skipping a redundant to_grid of the converged block.
     if opts.eigensolver == "direct":
-        return solve_direct(ham, psi.shape[1], instrumentation=instrumentation)
+        return solve_direct(
+            ham, psi.shape[1], instrumentation=instrumentation,
+            want_fields=True,
+        )
     if opts.eigensolver == "all_band":
         return solve_all_band(
             ham, psi, max_iter=opts.eig_max_iter, tol=opts.eig_tol,
-            instrumentation=instrumentation,
+            instrumentation=instrumentation, want_fields=True,
         )
     if opts.eigensolver == "band_by_band":
         return solve_band_by_band(
-            ham, psi, tol=opts.eig_tol, instrumentation=instrumentation
+            ham, psi, tol=opts.eig_tol, instrumentation=instrumentation,
+            want_fields=True,
         )
     raise ValueError(f"unknown eigensolver {opts.eigensolver!r}")
 
@@ -164,6 +170,7 @@ def run_scf(
     rho0: np.ndarray | None = None,
     grid: RealSpaceGrid | None = None,
     instrumentation: Instrumentation | None = None,
+    psi0: np.ndarray | None = None,
 ) -> SCFResult:
     """Run the conventional SCF loop to self-consistency.
 
@@ -177,22 +184,30 @@ def run_scf(
         Optional extra external potential on the grid (used by LDC domain
         solves to inject the boundary potential; exposed here for tests).
     rho0:
-        Optional initial density (e.g. from the previous MD step).
+        Optional initial density (e.g. from the previous MD step).  A
+        stale-shaped array (grid changed since it was produced) is ignored
+        — cold start, not a crash.
     grid:
         Optional explicit grid (must match ``v_extra``/``rho0``).
     instrumentation:
         Optional :class:`~repro.observability.Instrumentation`; records
         ``scf.*`` spans and per-iteration residual/energy/μ series.  The
         default ``None`` executes no telemetry code at all.
+    psi0:
+        Optional starting orbitals ``(npw, nband)`` — e.g. the previous MD
+        step's converged block (the QMD orbital warm start).  Ignored when
+        the shape does not match the basis/band count of this call.
     """
     opts = options or SCFOptions()
     if instrumentation is None:
-        return _run_scf(config, opts, v_extra, rho0, grid, None)
+        return _run_scf(config, opts, v_extra, rho0, grid, None, psi0)
     with instrumentation.span(
         "scf.run", category="scf", natoms=len(config.symbols),
         eigensolver=opts.eigensolver, mixer=opts.mixer,
     ) as span:
-        result = _run_scf(config, opts, v_extra, rho0, grid, instrumentation)
+        result = _run_scf(
+            config, opts, v_extra, rho0, grid, instrumentation, psi0
+        )
         span.attrs.update(
             converged=result.converged, iterations=result.iterations
         )
@@ -215,6 +230,7 @@ def _run_scf(
     rho0: np.ndarray | None,
     grid: RealSpaceGrid | None,
     ins: Instrumentation | None,
+    psi0: np.ndarray | None = None,
 ) -> SCFResult:
     """SCF implementation; ``ins`` is the instrumentation facade or None."""
     hm = None if ins is None else ins.health
@@ -231,9 +247,14 @@ def _run_scf(
         config.wrapped_positions(), config.zvals, config.cell
     )
 
+    if rho0 is not None and rho0.shape != grid.shape:
+        rho0 = None  # stale-shaped warm start (grid changed) → cold start
     rho = initial_density(grid, config) if rho0 is None else rho0.copy()
     rho = renormalize(rho, n_electrons, grid.dv)
-    psi = basis.random_orbitals(nband, seed=opts.seed)
+    if psi0 is not None and psi0.shape == (basis.npw, nband):
+        psi = psi0  # orbital warm start (previous MD step's converged block)
+    else:
+        psi = basis.random_orbitals(nband, seed=opts.seed)
 
     mixer: PulayMixer | LinearMixer
     if opts.mixer == "pulay":
@@ -272,7 +293,7 @@ def _run_scf(
         psi = eig.orbitals
         eigs = eig.eigenvalues
         mu, occs = _occupy(eigs, n_electrons, opts)
-        rho_out = density_from_orbitals(basis, psi, occs)
+        rho_out = density_from_fields(eig.fields, occs)
         rho_out = renormalize(rho_out, n_electrons, grid.dv)
 
         resid = grid.integrate(np.abs(rho_out - rho)) / max(n_electrons, 1.0)
@@ -317,7 +338,7 @@ def _run_scf(
     eigs = eig.eigenvalues
     mu, occs = _occupy(eigs, n_electrons, opts)
     rho_final = renormalize(
-        density_from_orbitals(basis, psi, occs), n_electrons, grid.dv
+        density_from_fields(eig.fields, occs), n_electrons, grid.dv
     )
     energy = _total_energy(
         grid, eigs, occs, rho_final, vh, vxc, e_ewald, mu, opts.kt, v_extra

@@ -1,7 +1,9 @@
 """The QMD driver: MD with quantum-mechanical (or surrogate) forces.
 
 This is the production loop of Sec. 6: at every MD step the electronic
-structure is re-solved (warm-started from the previous step's density) and
+structure is re-solved (warm-started from the previous step's density and
+converged orbitals — the LDC engine keeps a persistent
+:class:`~repro.core.workspace.LDCWorkspace` for the structural reuse) and
 Hellmann–Feynman forces drive velocity Verlet, with an optional thermostat.
 Engines are pluggable:
 
@@ -47,61 +49,121 @@ class LDCEngine:
 
     ``instrumentation`` (optional) is threaded into every ``run_ldc`` call;
     the engine also records warm-start telemetry — whether each solve was
-    seeded with the previous step's density, the QMD trick the paper's
-    time-to-solution numbers depend on.
+    seeded cold, from the previous step's density, or from the previous
+    step's converged orbitals, the QMD tricks the paper's time-to-solution
+    numbers depend on.
+
+    ``use_workspace`` (default on) gives the engine a persistent
+    :class:`~repro.core.workspace.LDCWorkspace`: the grid, decomposition,
+    partition of unity, per-domain bases, and Ewald structure are built once
+    per cell, and each step's domain solves warm-start from the previous
+    step's converged ψ.  A cell change between ``forces()`` calls resets the
+    workspace and the cached density (cold start, never a stale-shape crash).
     """
 
-    def __init__(self, options=None, instrumentation=None) -> None:
+    def __init__(
+        self, options=None, instrumentation=None, use_workspace: bool = True
+    ) -> None:
         from repro.core.ldc import LDCOptions
+        from repro.core.workspace import LDCWorkspace
 
         self.options = options or LDCOptions()
         self.instrumentation = instrumentation
+        self.workspace = LDCWorkspace() if use_workspace else None
         self._rho = None
+        self._cell = None
 
     def forces(self, config: Configuration):
         from repro.core.ldc import run_ldc
 
+        self._guard_cell(config)
         ins = self.instrumentation
         if ins is not None:
-            _record_warm_start(ins, "ldc", self._rho is not None)
+            if self.workspace is not None and self.workspace.has_orbitals:
+                start = "orbital"
+            elif self._rho is not None:
+                start = "density"
+            else:
+                start = "cold"
+            _record_warm_start(ins, "ldc", start)
         result = run_ldc(
             config, self.options, compute_forces=True, rho0=self._rho,
-            instrumentation=ins,
+            instrumentation=ins, workspace=self.workspace,
         )
         self._rho = result.density
         return result.forces, result.energy, result.iterations
 
+    def _guard_cell(self, config: Configuration) -> None:
+        cell = np.asarray(config.cell, dtype=float).reshape(3)
+        if self._cell is not None and not np.array_equal(self._cell, cell):
+            self._rho = None  # previous density lives on a stale grid
+            if self.workspace is not None:
+                self.workspace.reset()
+        self._cell = cell.copy()
+
 
 class SCFEngine:
-    """Force engine backed by the conventional O(N³) SCF."""
+    """Force engine backed by the conventional O(N³) SCF.
 
-    def __init__(self, options=None, instrumentation=None) -> None:
+    Warm-starts each step from the previous step's density *and* converged
+    orbitals (``use_orbital_warm_start=False`` disables the latter); a cell
+    change between ``forces()`` calls drops both caches instead of feeding
+    a stale-shaped array into ``run_scf``.
+    """
+
+    def __init__(
+        self, options=None, instrumentation=None,
+        use_orbital_warm_start: bool = True,
+    ) -> None:
         from repro.dft.scf import SCFOptions
 
         self.options = options or SCFOptions()
         self.instrumentation = instrumentation
+        self.use_orbital_warm_start = use_orbital_warm_start
         self._rho = None
+        self._psi = None
+        self._cell = None
 
     def forces(self, config: Configuration):
         from repro.dft.forces import forces_from_scf
         from repro.dft.scf import run_scf
 
+        self._guard_cell(config)
         ins = self.instrumentation
         if ins is not None:
-            _record_warm_start(ins, "pw", self._rho is not None)
+            if self._psi is not None:
+                start = "orbital"
+            elif self._rho is not None:
+                start = "density"
+            else:
+                start = "cold"
+            _record_warm_start(ins, "pw", start)
         result = run_scf(
-            config, self.options, rho0=self._rho, instrumentation=ins
+            config, self.options, rho0=self._rho, instrumentation=ins,
+            psi0=self._psi,
         )
         self._rho = result.density
+        if self.use_orbital_warm_start:
+            self._psi = result.orbitals
         f = forces_from_scf(config, result)
         return f, result.energy, result.iterations
 
+    def _guard_cell(self, config: Configuration) -> None:
+        cell = np.asarray(config.cell, dtype=float).reshape(3)
+        if self._cell is not None and not np.array_equal(self._cell, cell):
+            self._rho = None  # previous density lives on a stale grid
+            self._psi = None  # previous orbitals live on a stale basis
+        self._cell = cell.copy()
 
-def _record_warm_start(ins, engine: str, warm: bool) -> None:
-    """Count cold vs density-warm-started electronic solves."""
-    ins.counter(
-        "qmd.solves", engine=engine, start="warm" if warm else "cold"
-    ).inc()
+
+def _record_warm_start(ins, engine: str, start: str) -> None:
+    """Count electronic solves by warm-start tier.
+
+    ``start`` is ``"cold"`` (random ψ, model density), ``"density"``
+    (previous step's ρ only), or ``"orbital"`` (previous step's converged
+    ψ — implies the density warm start too).
+    """
+    ins.counter("qmd.solves", engine=engine, start=start).inc()
 
 
 class QMDDriver:

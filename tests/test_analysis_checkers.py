@@ -163,6 +163,62 @@ def test_out_parameter_contract_is_honoured():
     assert not check_file("inline.py", source=src)
 
 
+def test_rp002_flags_mutation_through_view_alias():
+    src = (
+        '"""m"""\n'
+        "def head_zero(block, n):\n"
+        '    """Zero the first n rows."""\n'
+        "    head = block[:n]\n"
+        "    head[...] = 0.0\n"
+        "    return block\n"
+    )
+    findings = unsuppressed(check_file("inline.py", source=src))
+    assert [f.rule for f in findings] == ["RP002"]
+    assert "through view alias 'head'" in findings[0].message
+    assert "'block'" in findings[0].message
+
+
+def test_rp002_view_alias_augassign_and_method():
+    src = (
+        '"""m"""\n'
+        "def spectrum(coeffs, scale):\n"
+        '    """Scale and order the coefficient block."""\n'
+        "    flat = coeffs.reshape(-1)\n"
+        "    flat *= scale\n"
+        "    flat.sort()\n"
+        "    return coeffs\n"
+    )
+    findings = unsuppressed(check_file("inline.py", source=src))
+    assert [f.rule for f in findings] == ["RP002", "RP002"]
+    assert all("view alias 'flat'" in f.message for f in findings)
+
+
+def test_rp002_rebound_alias_is_not_tracked():
+    # `tail` is bound twice: the second binding detaches it from the view,
+    # so mutating it afterwards is not a caller-visible write
+    src = (
+        '"""m"""\n'
+        "def f(block, n):\n"
+        '    """Compute a reduced tail."""\n'
+        "    tail = block[n:]\n"
+        "    tail = tail - tail.mean()\n"
+        "    tail[...] = 0.0\n"
+        "    return tail\n"
+    )
+    assert not check_file("inline.py", source=src)
+
+
+def test_rp002_accumulates_docstring_is_a_contract():
+    src = (
+        '"""m"""\n'
+        "def apply(out_like, psi):\n"
+        '    """Accumulates the result into psi in stages."""\n'
+        "    psi += out_like\n"
+        "    return psi\n"
+    )
+    assert not check_file("inline.py", source=src)
+
+
 def test_finding_anchor_carries_position():
     ctx = FileContext.from_source("x.py", '"""d"""\nseen = []\n')
     findings = check_file("x.py", source='"""d"""\nseen = []\n')

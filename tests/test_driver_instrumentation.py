@@ -95,11 +95,14 @@ def test_qmd_step_spans_and_warm_start_counters(h2):
     assert ins.tracer.count("qmd.step") == 2
     scf_iters = ins.metrics.get("qmd.scf_iterations")
     assert scf_iters.values == [float(f.scf_iterations) for f in frames]
-    # 3 solves total (initial force eval + 2 steps): 1 cold, 2 warm
+    # 3 solves total (initial force eval + 2 steps): the first is cold, the
+    # rest warm-start from the workspace's cached orbitals (which implies
+    # the density warm start too)
     cold = ins.metrics.get("qmd.solves", engine="ldc", start="cold")
-    warm = ins.metrics.get("qmd.solves", engine="ldc", start="warm")
+    orbital = ins.metrics.get("qmd.solves", engine="ldc", start="orbital")
     assert cold.value == 1
-    assert warm.value == 2
+    assert orbital.value == 2
+    assert ins.metrics.get("qmd.solves", engine="ldc", start="density") is None
     # engine inherited the driver's instrumentation: ldc spans nested in qmd
     ldc_spans = [s for s in ins.tracer.spans() if s.name == "ldc.run"]
     assert ldc_spans
