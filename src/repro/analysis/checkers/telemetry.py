@@ -20,9 +20,22 @@ are registered on a monitor with thresholds from a config object.
   ``*Invariant(...)`` call site scatters WARN/FAIL bands through driver
   code; thresholds belong in one
   :class:`~repro.observability.health.HealthThresholds` object.
+* **Direct virtual-clock mutation.**  Writing ``tracker.clocks[...] = ...``
+  (or ``+=``) bypasses the charge methods, so the event log, the attached
+  :class:`~repro.observability.comms.CommProfiler`, and the accounting
+  identity (compute + wait + transfer == clocks) all silently diverge from
+  the clocks; advance time via ``charge_compute``/``charge_collective``/
+  ``charge_p2p``.
+* **Unprofiled virtual machine in an instrumented path.**  A function that
+  threads ``instrumentation`` and builds a ``CostTracker``/``VirtualComm``
+  without a ``profiler=`` (or a later ``.profiler`` attach /
+  ``attach_comm_profiler`` call) runs the simulated machine invisibly to
+  the communication observatory — ``--comm`` and the divergence invariant
+  see nothing.
 
-The ``repro/observability`` package itself is exempt: it *implements* the
-contract this rule holds call sites to.
+The ``repro/observability`` package itself is exempt, as is
+``repro/parallel`` — they *implement* the contract this rule holds call
+sites to (the charge methods are where the clocks legitimately move).
 """
 
 from __future__ import annotations
@@ -43,15 +56,19 @@ class TelemetryHygieneChecker(Checker):
     description = (
         "span opened outside a with-statement, a metrics instrument "
         "constructed off-registry, an Invariant built without being "
-        "registered on a HealthMonitor, or a health threshold hard-coded "
-        "at an Invariant call site"
+        "registered on a HealthMonitor, a health threshold hard-coded "
+        "at an Invariant call site, a CostTracker clock mutated outside "
+        "the charge methods, or a CostTracker/VirtualComm built without "
+        "a profiler in an instrumented code path"
     )
-    exempt_paths = ("repro/observability/",)
+    exempt_paths = ("repro/observability/", "repro/parallel/")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         allowed_spans = self._allowed_span_calls(ctx.tree)
         invariant_classes = self._invariant_classes(ctx.tree)
         registered = self._registered_invariant_calls(ctx.tree)
+        yield from self._check_clock_mutation(ctx)
+        yield from self._check_unprofiled_vm(ctx)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -92,6 +109,80 @@ class TelemetryHygieneChecker(Checker):
                             f"{func_name} call site; WARN/FAIL bands belong "
                             f"in one HealthThresholds config object",
                         )
+
+    # -- virtual-machine observability ---------------------------------------
+
+    def _check_clock_mutation(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag writes to ``<expr>.clocks`` / ``<expr>.clocks[...]``."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if _is_clocks_target(target):
+                    yield ctx.finding(
+                        target, self.rule,
+                        "virtual clocks mutated directly; the event log and "
+                        "any attached CommProfiler no longer account for "
+                        "this time — advance clocks via charge_compute/"
+                        "charge_collective/charge_p2p",
+                    )
+
+    def _check_unprofiled_vm(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``CostTracker``/``VirtualComm`` built without a profiler in
+        a function that threads ``instrumentation``."""
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._references_instrumentation(fn):
+                continue
+            attaches = self._has_profiler_attach(fn)
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                ctor = dotted_name(node.func)
+                if ctor not in ("CostTracker", "VirtualComm"):
+                    continue
+                if any(kw.arg == "profiler" for kw in node.keywords):
+                    continue
+                if attaches:
+                    continue
+                yield ctx.finding(
+                    node, self.rule,
+                    f"{ctor} built without a profiler in an instrumented "
+                    f"path; the communication observatory sees none of its "
+                    f"events — pass profiler=, assign .profiler, or call "
+                    f"attach_comm_profiler",
+                )
+
+    @staticmethod
+    def _references_instrumentation(fn: ast.AST) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.arg) and node.arg == "instrumentation":
+                return True
+            if isinstance(node, ast.Name) and node.id == "instrumentation":
+                return True
+        return False
+
+    @staticmethod
+    def _has_profiler_attach(fn: ast.AST) -> bool:
+        """True when the function attaches a profiler some other way:
+        ``x.profiler = ...`` or an ``attach_comm_profiler(...)`` call."""
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Attribute) and t.attr == "profiler"
+                for t in node.targets
+            ):
+                return True
+            if isinstance(node, ast.Call) and (
+                call_method_name(node) == "attach_comm_profiler"
+                or dotted_name(node.func) == "attach_comm_profiler"
+            ):
+                return True
+        return False
 
     @staticmethod
     def _allowed_span_calls(tree: ast.Module) -> set[ast.Call]:
@@ -163,6 +254,14 @@ class TelemetryHygieneChecker(Checker):
             elif isinstance(node, ast.Return) and node.value is not None:
                 collect(node.value)
         return allowed
+
+
+def _is_clocks_target(node: ast.expr) -> bool:
+    """``<expr>.clocks`` or ``<expr>.clocks[...]`` as an assignment target
+    (``self.clocks = ...`` inside the tracker itself is path-exempt)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    return isinstance(node, ast.Attribute) and node.attr == "clocks"
 
 
 def _is_numeric_literal(node: ast.expr) -> bool:

@@ -42,6 +42,10 @@ def match_constant(value: float) -> tuple[str, int] | None:
         return None
     for symbol, const in KNOWN_CONSTANTS.items():
         ratio = value / const
+        # extreme literals (e.g. 1e-300 guards) can underflow the ratio to
+        # zero — no decade can match, so skip rather than crash log10
+        if ratio <= 0 or not math.isfinite(ratio):
+            continue
         decade = round(math.log10(ratio))
         if decade not in _DECADES:
             continue

@@ -60,6 +60,7 @@ def run_parallel_ldc(
     threads_per_core: int = 4,
     cg_per_scf: int = 3,
     instrumentation=None,
+    schedule: Schedule | None = None,
 ) -> ParallelLDCResult:
     """Execute LDC-DFT and charge its phases to a virtual machine.
 
@@ -75,6 +76,16 @@ def run_parallel_ldc(
         solve is instrumented as usual and the simulated-rank timeline is
         attached to the same Chrome-trace export (under its own pid), so
         measured spans and predicted rank activity render in one viewer.
+        A :class:`~repro.observability.comms.CommProfiler` rides the
+        tracker, decomposing every charge into compute / wait / transfer
+        per phase, and — with a health monitor on the facade — each
+        phase's measured time is graded against the balanced-cost model
+        on the ``vm.phase`` channel (:class:`DivergenceInvariant`).
+    schedule:
+        Explicit domain → rank-group assignment (e.g. from
+        :func:`~repro.parallel.scheduler.schedule_manual`).  ``None`` (the
+        default) LPT-schedules by the actual domain atom counts.  Its
+        ``ngroups`` must match ``min(total_ranks, ndomains)``.
     """
     if total_ranks < 1:
         raise ValueError("total_ranks must be >= 1")
@@ -85,11 +96,21 @@ def run_parallel_ldc(
     ndomains = max(len(active), 1)
     ngroups = min(total_ranks, ndomains)
     ranks_per_group = max(1, total_ranks // ngroups)
-    schedule = schedule_domains(
-        [len(s.atom_indices) for s in active], ngroups, nu=2.0
-    )
+    if schedule is None:
+        schedule = schedule_domains(
+            [len(s.atom_indices) for s in active], ngroups, nu=2.0
+        )
+    elif schedule.ngroups != ngroups:
+        raise ValueError(
+            f"schedule has {schedule.ngroups} groups, run needs {ngroups}"
+        )
 
-    tracker = CostTracker(total_ranks)
+    profiler = None
+    if instrumentation is not None:
+        from repro.observability.comms import CommProfiler
+
+        profiler = CommProfiler(total_ranks)
+    tracker = CostTracker(total_ranks, profiler=profiler)
     torus = TorusTopology(
         (max(total_ranks // machine.cores_per_node, 1),),
         machine.link_bandwidth,
@@ -128,7 +149,8 @@ def run_parallel_ldc(
             secs = sum(
                 domain_seconds[d] for d in schedule.domains_in_group(g)
             )
-            tracker.charge_compute(group_ranks[g], secs, label="domain")
+            with tracker.phase("domain"):
+                tracker.charge_compute(group_ranks[g], secs, label="domain")
             breakdown["domain"] += secs / ngroups
             # intra-domain band<->space all-to-alls per CG iteration
             if ranks_per_group > 1:
@@ -136,17 +158,24 @@ def run_parallel_ldc(
                 t_a2a = 2 * cg_per_scf * torus.alltoall_time(
                     slab / max(ranks_per_group, 1) ** 2, ranks_per_group
                 )
-                tracker.charge_collective(
-                    group_ranks[g], t_a2a, slab, label="alltoall"
-                )
+                with tracker.phase("alltoall"):
+                    tracker.charge_collective(
+                        group_ranks[g], t_a2a, slab, label="alltoall"
+                    )
                 breakdown["alltoall"] += t_a2a / ngroups
         # halo exchange of buffer densities
         t_halo = torus.halo_exchange_time(halo_bytes)
-        tracker.charge_collective(range(total_ranks), t_halo, halo_bytes, "halo")
+        with tracker.phase("halo"):
+            tracker.charge_collective(
+                range(total_ranks), t_halo, halo_bytes, "halo"
+            )
         breakdown["halo"] += t_halo
         # global density reduction over the tree
         t_tree = tree.vcycle_time(rho_bytes / total_ranks, total_ranks)
-        tracker.charge_collective(range(total_ranks), t_tree, rho_bytes, "tree")
+        with tracker.phase("tree"):
+            tracker.charge_collective(
+                range(total_ranks), t_tree, rho_bytes, "tree"
+            )
         breakdown["tree"] += t_tree
 
     parallel_result = ParallelLDCResult(
@@ -159,19 +188,42 @@ def run_parallel_ldc(
     )
     if instrumentation is not None:
         instrumentation.attach_cost_tracker(tracker)
+        instrumentation.attach_comm_profiler(profiler)
         instrumentation.gauge("vm.predicted_seconds").set(
             parallel_result.predicted_seconds
         )
         instrumentation.gauge("vm.imbalance").set(parallel_result.imbalance)
         instrumentation.gauge("vm.ranks").set(total_ranks)
+        instrumentation.gauge("vm.parallel_efficiency").set(
+            profiler.parallel_efficiency()
+        )
+        instrumentation.gauge("vm.wait_fraction").set(profiler.wait_fraction())
         for phase, seconds in breakdown.items():
             instrumentation.gauge("vm.breakdown", phase=phase).set(seconds)
+        hm = instrumentation.health
+        if hm is not None:
+            # Grade each phase's measured laggard time against the balanced
+            # cost-model prediction (DivergenceInvariant on "vm.phase"):
+            # the laggard's active seconds in a phase vs the breakdown's
+            # every-group-equal estimate.  A skewed domain assignment shows
+            # up here as drift ≈ ngroups − 1.
+            for phase, agg in profiler.by_phase().items():
+                modeled = breakdown.get(phase, 0.0)
+                measured = float((agg["compute"] + agg["transfer"]).max())
+                hm.observe(
+                    "vm.phase",
+                    phase=phase,
+                    measured_seconds=measured,
+                    modeled_seconds=modeled,
+                    ranks=total_ranks,
+                )
         instrumentation.log.info(
             "virtual machine run",
             extra={
                 "ranks": total_ranks,
                 "predicted_seconds": parallel_result.predicted_seconds,
                 "imbalance": parallel_result.imbalance,
+                "parallel_efficiency": profiler.parallel_efficiency(),
             },
         )
     return parallel_result

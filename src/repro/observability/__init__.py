@@ -36,11 +36,20 @@ The report CLI renders a paper-style per-phase breakdown from a trace
     python -m repro.observability.report trace.json --flops
 """
 
+from repro.observability.comms import CommProfiler, profile_events
 from repro.observability.cost_trace import (
     chrome_events_from_cost_tracker,
     chrome_trace_from_cost_tracker,
 )
+from repro.observability.critpath import (
+    CriticalSegment,
+    critical_path,
+    critical_path_from_tracker,
+    measured_efficiency,
+    render_critical_path,
+)
 from repro.observability.health import (
+    DivergenceInvariant,
     HealthError,
     HealthMonitor,
     HealthRecord,
@@ -49,25 +58,43 @@ from repro.observability.health import (
 from repro.observability.instrumentation import Instrumentation
 from repro.observability.logs import configure_logging, get_logger
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.stream import (
+    JsonlSink,
+    TelemetryBus,
+    attach_jsonl,
+    read_jsonl,
+)
 from repro.observability.tracer import Span, SpanTracer
 
 __all__ = [
+    "CommProfiler",
+    "CriticalSegment",
+    "DivergenceInvariant",
     "FieldSpec",
     "HealthError",
     "HealthMonitor",
     "HealthRecord",
     "HealthThresholds",
     "Instrumentation",
+    "JsonlSink",
     "MetricsRegistry",
     "RecordSchema",
     "Span",
     "SpanTracer",
+    "TelemetryBus",
+    "attach_jsonl",
     "chrome_events_from_cost_tracker",
     "chrome_trace_from_cost_tracker",
     "configure_logging",
+    "critical_path",
+    "critical_path_from_tracker",
     "get_logger",
+    "measured_efficiency",
     "phase_breakdown",
+    "profile_events",
+    "read_jsonl",
     "render_breakdown",
+    "render_critical_path",
 ]
 
 

@@ -7,6 +7,20 @@ virtual start/end times (:attr:`TraceEvent.rank_starts` /
 rank, under a dedicated ``pid`` — so predicted rank timelines and *real*
 wall-clock spans from the :class:`~repro.observability.tracer.SpanTracer`
 render side by side in one ``chrome://tracing`` / Perfetto view.
+
+Every slice is stamped with the args the communication observatory needs
+to rebuild the event log from the trace alone (``python -m
+repro.observability.report <trace> --comm`` / ``--critical-path``):
+
+* ``seq`` — the event's charge-order index (slices of one collective share
+  it, so per-event quantities like bytes are not multi-counted);
+* ``kind`` / ``phase`` — the charge kind and the algorithmic phase label;
+* ``wait`` — for synchronizing events, this rank's clock-alignment seconds
+  (sync point − arrival), the laggard-wait half of the decomposition.
+
+With ``include_waits=True`` the wait is additionally rendered as its own
+bar (``cat="wait"``, spanning arrival → sync) so Perfetto shows blocked
+time explicitly; the default keeps the legacy one-bar-per-event layout.
 """
 
 from __future__ import annotations
@@ -18,11 +32,11 @@ COST_TRACE_PID = 2
 
 
 def chrome_events_from_cost_tracker(
-    tracker, pid: int = COST_TRACE_PID
+    tracker, pid: int = COST_TRACE_PID, include_waits: bool = False
 ) -> list[dict[str, Any]]:
     """One ``"X"`` event per (event, participating rank), µs units."""
     events: list[dict[str, Any]] = []
-    for e in tracker.events:
+    for seq, e in enumerate(tracker.events):
         ranks = e.participants(tracker.nranks)
         starts = e.rank_starts
         ends = e.rank_ends
@@ -30,7 +44,8 @@ def chrome_events_from_cost_tracker(
             # Legacy event without recorded times: place at t=0.
             starts = (0.0,) * len(ranks)
             ends = (e.seconds,) * len(ranks)
-        for rank, t0, t1 in zip(ranks, starts, ends):
+        waits = e.waits() or (0.0,) * len(ranks)
+        for rank, t0, t1, wait in zip(ranks, starts, ends, waits):
             events.append(
                 {
                     "name": e.label,
@@ -40,9 +55,33 @@ def chrome_events_from_cost_tracker(
                     "dur": (t1 - t0) * 1e6,
                     "pid": pid,
                     "tid": int(rank),
-                    "args": {"kind": e.kind, "nbytes": e.nbytes},
+                    "args": {
+                        "kind": e.kind,
+                        "nbytes": e.nbytes,
+                        "phase": e.phase,
+                        "seq": seq,
+                        "wait": wait,
+                    },
                 }
             )
+            if include_waits and wait > 0.0:
+                events.append(
+                    {
+                        "name": f"{e.label} (wait)",
+                        "cat": "wait",
+                        "ph": "X",
+                        "ts": (t0 - wait) * 1e6,
+                        "dur": wait * 1e6,
+                        "pid": pid,
+                        "tid": int(rank),
+                        "args": {
+                            "kind": "wait",
+                            "phase": e.phase,
+                            "seq": seq,
+                            "label": e.label,
+                        },
+                    }
+                )
     # Name the process and lanes so the viewer reads "virtual machine".
     meta: list[dict[str, Any]] = [
         {
@@ -67,9 +106,11 @@ def chrome_events_from_cost_tracker(
 
 
 def chrome_trace_from_cost_tracker(
-    tracker, pid: int = COST_TRACE_PID
+    tracker, pid: int = COST_TRACE_PID, include_waits: bool = False
 ) -> dict[str, Any]:
     return {
-        "traceEvents": chrome_events_from_cost_tracker(tracker, pid=pid),
+        "traceEvents": chrome_events_from_cost_tracker(
+            tracker, pid=pid, include_waits=include_waits
+        ),
         "displayTimeUnit": "ms",
     }

@@ -124,6 +124,12 @@ class HealthThresholds:
     temperature_fail: float = 2.0
     #: steps to let the thermostat settle before the window is enforced
     temperature_settle_steps: int = 10
+    #: measured-vs-modeled phase-time drift |t_meas − t_model| / t_model.
+    #: The WARN band absorbs the LPT scheduler's residual imbalance on
+    #: unequal domains; FAIL marks a genuinely skewed assignment (e.g. a
+    #: whole group's work landing on one rank group).
+    model_divergence_warn: float = 0.5
+    model_divergence_fail: float = 1.0
 
 
 class Invariant:
@@ -377,6 +383,41 @@ class SolverConvergenceInvariant(Invariant):
         )
 
 
+class DivergenceInvariant(Invariant):
+    """Measured phase times must track the performance-model prediction.
+
+    Drivers executing on the virtual machine publish, per algorithmic
+    phase, the *measured* time (from the :class:`CommProfiler` / event-log
+    accounting) alongside the *modeled* time (the closed-form
+    :mod:`repro.perfmodel.scaling` / balanced-cost prediction).  A drift
+    outside the band flags exactly what the paper's Fig. 5/6 diagnostics
+    would: laggard-dominated phases, skewed domain assignments, or a cost
+    model that no longer describes the code.
+    """
+
+    name = "model_divergence"
+    channel = "vm.phase"
+
+    def __init__(self, thresholds: HealthThresholds | None = None) -> None:
+        self.thresholds = thresholds or HealthThresholds()
+
+    def update(self, sample: dict[str, Any]) -> HealthRecord | None:
+        modeled = float(sample["modeled_seconds"])
+        measured = float(sample["measured_seconds"])
+        phase = str(sample.get("phase", "?"))
+        if modeled <= 0.0:
+            return None
+        drift = abs(measured - modeled) / modeled
+        return self._banded(
+            drift,
+            self.thresholds.model_divergence_warn,
+            self.thresholds.model_divergence_fail,
+            f"measured-vs-modeled drift in phase {phase!r}",
+            phase=phase, measured_seconds=measured,
+            modeled_seconds=modeled, ranks=sample.get("ranks"),
+        )
+
+
 def default_invariants(
     thresholds: HealthThresholds | None = None,
 ) -> list[Invariant]:
@@ -389,6 +430,7 @@ def default_invariants(
         PartitionOfUnityInvariant(thr),
         SCFResidualInvariant(thr),
         SolverConvergenceInvariant(),
+        DivergenceInvariant(thr),
     ]
 
 
@@ -463,6 +505,9 @@ class HealthMonitor:
         self.sinks: list[AlertSink] = list(sinks)
         self.keep_ok = keep_ok
         self.clock = clock
+        #: callables receiving *every* record (OK included) — the telemetry
+        #: bus wire-up; empty by default so nothing runs when unused
+        self.listeners: list[Callable[[HealthRecord], None]] = []
         self.records: list[HealthRecord] = []
         #: evaluation counts per (invariant, status)
         self.counts: dict[tuple[str, str], int] = {}
@@ -483,6 +528,13 @@ class HealthMonitor:
 
     def add_sink(self, sink: AlertSink) -> "HealthMonitor":
         self.sinks.append(sink)
+        return self
+
+    def add_listener(
+        self, listener: Callable[[HealthRecord], None]
+    ) -> "HealthMonitor":
+        """Register a callable that receives every record, OK included."""
+        self.listeners.append(listener)
         return self
 
     def invariants(self) -> list[Invariant]:
@@ -518,6 +570,9 @@ class HealthMonitor:
             self.counts[key] = self.counts.get(key, 0) + 1
             if rec.status != STATUS_OK or self.keep_ok:
                 self.records.append(rec)
+            if self.listeners:
+                for listener in self.listeners:
+                    listener(rec)
             if rec.status != STATUS_OK:
                 for sink in self.sinks:
                     sink.emit(rec)

@@ -38,7 +38,9 @@ from repro.observability.tracer import SpanTracer
 from repro.util.timer import WallClock
 
 if TYPE_CHECKING:
+    from repro.observability.comms import CommProfiler
     from repro.observability.health import HealthMonitor
+    from repro.observability.stream import TelemetryBus
 
 
 class Instrumentation:
@@ -58,6 +60,12 @@ class Instrumentation:
         set, drivers additionally publish physics-invariant samples to it
         and its records merge into the Chrome trace as instant events.
         ``None`` (the default) keeps every health check off the hot path.
+    stream:
+        Optional :class:`~repro.observability.stream.TelemetryBus`.  When
+        set, finished spans, metric samples, health verdicts, and
+        comm-profiler summaries are published to it live (topics ``span``,
+        ``metric``, ``health``, ``comm.summary``).  ``None`` (the default)
+        installs no listeners, so recording stays bus-free.
     """
 
     def __init__(
@@ -67,6 +75,7 @@ class Instrumentation:
         logger: logging.Logger | None = None,
         clock: WallClock | None = None,
         health: "HealthMonitor | None" = None,
+        stream: "TelemetryBus | None" = None,
     ) -> None:
         self.tracer = tracer or SpanTracer(clock=clock)
         self.metrics = metrics or MetricsRegistry()
@@ -78,6 +87,40 @@ class Instrumentation:
         #: extra Chrome-trace events merged into exports (e.g. simulated-rank
         #: timelines attached via :meth:`attach_cost_tracker`)
         self.extra_chrome_events: list[dict[str, Any]] = []
+        #: comm profilers attached by drivers (`attach_comm_profiler`)
+        self.comm_profilers: list["CommProfiler"] = []
+        self.stream = stream
+        if stream is not None:
+            self._wire_stream(stream)
+
+    def _wire_stream(self, bus: "TelemetryBus") -> None:
+        """Subscribe the bus to span/metric/health emission points."""
+        self.tracer.add_listener(
+            lambda span: bus.publish(
+                "span",
+                name=span.name,
+                path=span.path,
+                category=span.category,
+                duration=span.duration,
+                attrs=span.attrs,
+            )
+        )
+        self.metrics.add_listener(
+            lambda inst, value: bus.publish(
+                "metric", key=inst.key, kind=inst.kind, value=value
+            )
+        )
+        if self.health is not None:
+            self.health.add_listener(
+                lambda rec: bus.publish(
+                    "health",
+                    invariant=rec.invariant,
+                    status=rec.status,
+                    value=rec.value,
+                    message=rec.message,
+                    context=rec.context,
+                )
+            )
 
     # -- tracing -------------------------------------------------------------
 
@@ -100,7 +143,9 @@ class Instrumentation:
 
     # -- virtual-machine timelines ------------------------------------------
 
-    def attach_cost_tracker(self, tracker, pid: int | None = None) -> None:
+    def attach_cost_tracker(
+        self, tracker, pid: int | None = None, include_waits: bool = True
+    ) -> None:
         """Merge a :class:`CostTracker`'s simulated-rank timeline into the
         Chrome-trace export, alongside the real wall-clock spans."""
         from repro.observability.cost_trace import (
@@ -110,9 +155,21 @@ class Instrumentation:
 
         self.extra_chrome_events.extend(
             chrome_events_from_cost_tracker(
-                tracker, pid=COST_TRACE_PID if pid is None else pid
+                tracker,
+                pid=COST_TRACE_PID if pid is None else pid,
+                include_waits=include_waits,
             )
         )
+
+    def attach_comm_profiler(self, profiler: "CommProfiler") -> None:
+        """Register a finished :class:`CommProfiler` for artifact export.
+
+        Its per-phase/per-kind summary lands in ``comm.json`` alongside the
+        trace, and — when a telemetry bus is attached — a ``comm.summary``
+        event is published immediately."""
+        self.comm_profilers.append(profiler)
+        if self.stream is not None:
+            self.stream.publish("comm.summary", **profiler.to_dict())
 
     # -- export --------------------------------------------------------------
 
@@ -147,4 +204,9 @@ class Instrumentation:
             paths["health"] = out / "health.json"
             with open(paths["health"], "w") as fh:
                 json.dump(self.health.to_dict(), fh, indent=1)
+        if self.comm_profilers:
+            paths["comm"] = out / "comm.json"
+            payload = [p.to_dict() for p in self.comm_profilers]
+            with open(paths["comm"], "w") as fh:
+                json.dump(payload[0] if len(payload) == 1 else payload, fh, indent=1)
         return paths

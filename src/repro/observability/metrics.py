@@ -43,6 +43,9 @@ class _Instrument:
     def __init__(self, name: str, labels: dict[str, Any]) -> None:
         self.name = name
         self.labels = dict(labels)
+        #: set by the owning registry when sample listeners are attached
+        #: (telemetry-bus wire-up); ``None`` keeps sampling listener-free
+        self._notify = None
 
     @property
     def key(self) -> str:
@@ -60,6 +63,8 @@ class Counter(_Instrument):
         if amount < 0:
             raise ValueError("counters only go up")
         self.value += amount
+        if self._notify is not None:
+            self._notify(self, self.value)
 
     def snapshot(self) -> dict[str, Any]:
         return {"kind": self.kind, "value": self.value}
@@ -74,6 +79,8 @@ class Gauge(_Instrument):
 
     def set(self, value: float) -> None:
         self.value = float(value)
+        if self._notify is not None:
+            self._notify(self, self.value)
 
     def snapshot(self) -> dict[str, Any]:
         return {"kind": self.kind, "value": self.value}
@@ -95,6 +102,8 @@ class Histogram(_Instrument):
         self.sum += v
         self.min = v if self.min is None else min(self.min, v)
         self.max = v if self.max is None else max(self.max, v)
+        if self._notify is not None:
+            self._notify(self, v)
 
     @property
     def mean(self) -> float | None:
@@ -122,9 +131,12 @@ class Series(_Instrument):
 
     def append(self, value: float) -> None:
         self.values.append(float(value))
+        if self._notify is not None:
+            self._notify(self, self.values[-1])
 
     def extend(self, values) -> None:
-        self.values.extend(float(v) for v in values)
+        for v in values:
+            self.append(v)
 
     def __len__(self) -> int:
         return len(self.values)
@@ -142,6 +154,20 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._instruments: dict[str, _Instrument] = {}
+        #: sample listeners, called as ``listener(instrument, value)`` on
+        #: every inc/set/observe/append — the telemetry-bus wire-up
+        self._listeners: list = []
+
+    def add_listener(self, listener) -> None:
+        """Attach a per-sample listener to every current/future instrument."""
+        with self._lock:
+            self._listeners.append(listener)
+            for inst in self._instruments.values():
+                inst._notify = self._dispatch
+
+    def _dispatch(self, instrument: _Instrument, value: float) -> None:
+        for listener in self._listeners:
+            listener(instrument, value)
 
     # -- instrument accessors ------------------------------------------------
 
@@ -163,6 +189,8 @@ class MetricsRegistry:
             inst = self._instruments.get(key)
             if inst is None:
                 inst = self._kinds[kind](name, labels)
+                if self._listeners:
+                    inst._notify = self._dispatch
                 self._instruments[key] = inst
             elif inst.kind != kind:
                 raise TypeError(

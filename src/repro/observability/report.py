@@ -15,6 +15,17 @@ reports per-phase fractions of the run (Sec. 4.2).
 per-phase time, estimated FLOPs (attributed from the solve sizes stamped
 on spans via :mod:`repro.observability.costattr`), achieved GFLOP/s, and —
 with ``--peak-gflops`` — the achieved fraction of peak.
+
+Two views read the *virtual machine* lanes of the trace (the simulated-rank
+slices exported under ``pid=2``, stamped with ``seq``/``kind``/``phase``/
+``wait`` args by :mod:`repro.observability.cost_trace`):
+
+* ``--comm`` — the communication observatory table: per algorithmic phase,
+  compute / transfer / wait rank-seconds, bytes moved, collective calls,
+  parallel efficiency, load imbalance, and the laggard rank (the Fig. 5/6
+  quantities, measured rather than modeled);
+* ``--critical-path`` — the longest dependency chain through the rank
+  timelines: which rank's which segment the run is actually waiting on.
 """
 
 from __future__ import annotations
@@ -107,6 +118,73 @@ def render_breakdown(
     return "\n".join(lines)
 
 
+def comm_breakdown(
+    events: list[dict[str, Any]], pid: int | None = None
+):
+    """Rebuild a :class:`~repro.observability.comms.CommProfiler` from the
+    virtual-machine slices of a Chrome trace.
+
+    Returns ``None`` when the trace holds no VM events (e.g. a spans-only
+    trace recorded without an attached :class:`CostTracker`).
+    """
+    from repro.observability.comms import profile_events
+    from repro.observability.cost_trace import COST_TRACE_PID
+    from repro.observability.critpath import events_from_chrome
+
+    vm_events, nranks = events_from_chrome(
+        events, pid=COST_TRACE_PID if pid is None else pid
+    )
+    if not vm_events:
+        return None
+    return profile_events(vm_events, nranks)
+
+
+def render_comm(profiler) -> str:
+    """The observatory table: per-phase decomposition + per-kind traffic."""
+    by_phase = profiler.by_phase()
+    width = max([len(p or "(unphased)") for p in by_phase] + [5])
+    lines = [
+        f"{'phase':<{width}}  {'compute[s]':>11}  {'transfer[s]':>11}  "
+        f"{'wait[s]':>11}  {'bytes':>12}  {'calls':>6}  {'eff':>6}  "
+        f"{'imbal':>6}  {'laggard':>7}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for phase, agg in sorted(
+        by_phase.items(), key=lambda kv: -kv[1]["compute_s"]
+    ):
+        lines.append(
+            f"{phase or '(unphased)':<{width}}  {agg['compute_s']:>11.6f}  "
+            f"{agg['transfer_s']:>11.6f}  {agg['wait_s']:>11.6f}  "
+            f"{agg['nbytes']:>12.0f}  {agg['calls']:>6d}  "
+            f"{agg['efficiency']:>6.3f}  {agg['imbalance']:>6.3f}  "
+            f"{agg['laggard']:>7d}"
+        )
+    by_kind = profiler.by_kind()
+    if by_kind:
+        lines.append("")
+        kwidth = max([len(k) for k in by_kind] + [10])
+        lines.append(
+            f"{'collective':<{kwidth}}  {'calls':>6}  {'bytes':>12}  "
+            f"{'transfer[s]':>11}  {'wait[s]':>11}"
+        )
+        lines.append("-" * len(lines[-1]))
+        for label, agg in sorted(
+            by_kind.items(), key=lambda kv: -kv[1]["transfer_s"]
+        ):
+            lines.append(
+                f"{label:<{kwidth}}  {agg['calls']:>6d}  {agg['nbytes']:>12.0f}  "
+                f"{agg['transfer_s']:>11.6f}  {agg['wait_s']:>11.6f}"
+            )
+    lines.append("")
+    lines.append(
+        f"ranks: {profiler.nranks}   "
+        f"parallel efficiency: {profiler.parallel_efficiency():.4f}   "
+        f"wait fraction: {profiler.wait_fraction():.4f}   "
+        f"total bytes: {profiler.bytes_total:.0f}"
+    )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.observability.report",
@@ -133,6 +211,16 @@ def main(argv: list[str] | None = None) -> int:
         "--peak-gflops", type=float, default=None,
         help="machine peak used for the %% of peak column in --flops mode",
     )
+    parser.add_argument(
+        "--comm", action="store_true",
+        help="communication observatory: per-phase compute/transfer/wait, "
+             "bytes, efficiency, imbalance, laggard (from the VM lanes)",
+    )
+    parser.add_argument(
+        "--critical-path", action="store_true",
+        help="walk the simulated-rank timelines and print the critical "
+             "path (the dependency chain the run actually waits on)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -140,6 +228,35 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, json.JSONDecodeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.comm or args.critical_path:
+        from repro.observability.cost_trace import COST_TRACE_PID
+        from repro.observability.critpath import (
+            critical_path,
+            events_from_chrome,
+            render_critical_path,
+        )
+
+        vm_events, nranks = events_from_chrome(
+            events, pid=COST_TRACE_PID if args.pid is None else args.pid
+        )
+        if not vm_events:
+            print(
+                "trace contains no virtual-machine events (pid "
+                f"{COST_TRACE_PID if args.pid is None else args.pid}); "
+                "was the run recorded with an attached CostTracker?",
+                file=sys.stderr,
+            )
+            return 1
+        if args.comm:
+            from repro.observability.comms import profile_events
+
+            print(render_comm(profile_events(vm_events, nranks)))
+            if args.critical_path:
+                print()
+        if args.critical_path:
+            segments = critical_path(vm_events, nranks)
+            print(render_critical_path(segments, top=args.top))
+        return 0
     if args.flops:
         from repro.observability.costattr import render_roofline, roofline_table
 

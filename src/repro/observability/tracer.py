@@ -65,6 +65,13 @@ class SpanTracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._finished: list[Span] = []
+        #: callables receiving each span as it finishes (telemetry-bus
+        #: wire-up); empty by default, so closing a span costs one truth test
+        self._listeners: list = []
+
+    def add_listener(self, listener) -> None:
+        """Register a callable invoked with every finished :class:`Span`."""
+        self._listeners.append(listener)
 
     # -- recording ----------------------------------------------------------
 
@@ -92,6 +99,9 @@ class SpanTracer:
         )
         with self._lock:
             self._finished.append(span)
+        if self._listeners:
+            for listener in self._listeners:
+                listener(span)
         return span
 
     def now(self) -> float:
@@ -203,6 +213,9 @@ class SpanTracer:
             stack.remove(span)
         with self._lock:
             self._finished.append(span)
+        if self._listeners:
+            for listener in self._listeners:
+                listener(span)
 
 
 class _SpanContext:

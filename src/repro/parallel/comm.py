@@ -47,7 +47,11 @@ def _nbytes(value: Any) -> float:
     if isinstance(value, (list, tuple, set, frozenset)):
         return float(sum(_nbytes(v) for v in value))
     if isinstance(value, dict):
-        return float(sum(_nbytes(v) for v in value.values()))
+        # Keys travel with the payload too (a real MPI dict send serializes
+        # both); sizing only the values silently under-charges keyed data.
+        return float(
+            sum(_nbytes(k) + _nbytes(v) for k, v in value.items())
+        )
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return float(
             sum(
@@ -72,6 +76,13 @@ class VirtualComm:
     world_ranks:
         Global rank ids of this communicator's members (identity for the
         world communicator).
+    profiler:
+        Optional live observer with a ``record(event)`` method (in practice
+        a :class:`repro.observability.comms.CommProfiler`).  Attached to the
+        shared tracker, so every collective this communicator — or any
+        sub-communicator from :meth:`split` — charges is profiled with its
+        wait/transfer decomposition.  ``None`` (the default) keeps the
+        charge path observer-free.
     """
 
     def __init__(
@@ -81,6 +92,7 @@ class VirtualComm:
         topology: TorusTopology | None = None,
         world_ranks: Sequence[int] | None = None,
         name: str = "world",
+        profiler=None,
     ) -> None:
         if size < 1:
             raise ValueError("communicator size must be >= 1")
@@ -93,6 +105,9 @@ class VirtualComm:
         if len(self.world_ranks) != size:
             raise ValueError("world_ranks length must equal size")
         self.name = name
+        self.profiler = profiler
+        if profiler is not None and tracker is not None:
+            tracker.profiler = profiler
 
     # -- internals -----------------------------------------------------------
 
@@ -107,6 +122,18 @@ class VirtualComm:
         if self.tracker is not None:
             self.tracker.charge_collective(
                 self.world_ranks, seconds, nbytes, label
+            )
+        elif self.profiler is not None:
+            # No virtual clocks: record the call/byte accounting anyway so a
+            # profiler on an untimed communicator still sees traffic volumes
+            # (wait decomposition needs a tracker and stays zero here).
+            from repro.parallel.trace import TraceEvent
+
+            self.profiler.record(
+                TraceEvent(
+                    "collective", tuple(self.world_ranks), seconds, nbytes,
+                    label,
+                )
             )
 
     def _collective_time(self, nbytes: float) -> float:
@@ -226,6 +253,7 @@ class VirtualComm:
                 topology=self.topology,
                 world_ranks=[self.world_ranks[m] for m in members],
                 name=f"{self.name}/color{color}",
+                profiler=self.profiler,
             )
         self._charge(0.0, 0.0, "comm_split")
         return [comms[colors[r]] for r in range(self.size)]

@@ -67,6 +67,29 @@ def schedule_lpt(costs, ngroups: int) -> Schedule:
     return Schedule(groups, ngroups, loads)
 
 
+def schedule_manual(group_of_domain, ngroups: int, costs=None) -> Schedule:
+    """Build a :class:`Schedule` from an explicit domain → group assignment.
+
+    The injection seam for externally decided placements: skewed
+    assignments in divergence tests/benches, and (eventually) SFC-based
+    dynamic re-assignment from measured per-domain solve times.  ``costs``
+    defaults to unit cost per domain.
+    """
+    groups = np.asarray(group_of_domain, dtype=int)
+    if ngroups < 1:
+        raise ValueError("ngroups must be >= 1")
+    if groups.size and (groups.min() < 0 or groups.max() >= ngroups):
+        raise ValueError("group assignments must lie in [0, ngroups)")
+    costs = (
+        np.ones(len(groups)) if costs is None
+        else np.asarray(costs, dtype=float)
+    )
+    if len(costs) != len(groups):
+        raise ValueError("costs length must match assignment length")
+    loads = np.bincount(groups, weights=costs, minlength=ngroups)
+    return Schedule(groups, ngroups, loads)
+
+
 def schedule_domains(
     atom_counts, ngroups: int, nu: float = 2.0, method: str = "lpt"
 ) -> Schedule:

@@ -9,10 +9,26 @@ synchronous codes behave), then adds the collective's modeled time.
 ``elapsed()`` (max over clocks) is the predicted wall-clock of the run, and
 the event log supports per-phase breakdowns like the paper's I/O accounting
 (Sec. 4.2).
+
+Two observability seams ride on the charge path, both free when unused:
+
+* **phases** — :meth:`CostTracker.phase` stamps subsequent events with an
+  algorithmic phase label (``"domain"``, ``"tree"``, ...), so downstream
+  analysis can aggregate the event log by the same names the span tracer
+  uses;
+* **profiler** — an object with a ``record(event)`` method (duck-typed so
+  this module never imports observability code; in practice a
+  :class:`repro.observability.comms.CommProfiler`) attached as
+  :attr:`CostTracker.profiler` sees every event at charge time.  Collective
+  and p2p events carry :attr:`TraceEvent.rank_arrivals` — each
+  participant's pre-synchronization clock — from which the profiler
+  decomposes the charge into *wait* (clock alignment to the laggard) and
+  *transfer* time.
 """
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,21 +46,57 @@ class TraceEvent:
     #: as a per-rank timeline (Chrome trace) without replaying the run
     rank_starts: tuple[float, ...] | None = None
     rank_ends: tuple[float, ...] | None = None
+    #: per-participant clock *before* synchronization (collective/p2p only):
+    #: ``start - arrival`` is the wait a rank spends blocked on the laggard
+    rank_arrivals: tuple[float, ...] | None = None
+    #: algorithmic phase active at charge time (see :meth:`CostTracker.phase`)
+    phase: str = ""
 
     def participants(self, nranks: int) -> tuple[int, ...]:
         """Concrete rank list (expands the ``None`` = all-ranks shorthand)."""
         return tuple(range(nranks)) if self.ranks is None else self.ranks
 
+    def waits(self) -> tuple[float, ...] | None:
+        """Per-participant wait seconds (sync point − arrival), when known."""
+        if self.rank_arrivals is None or self.rank_starts is None:
+            return None
+        return tuple(
+            max(s - a, 0.0)
+            for s, a in zip(self.rank_starts, self.rank_arrivals)
+        )
+
 
 class CostTracker:
     """Virtual clocks for ``nranks`` simulated ranks."""
 
-    def __init__(self, nranks: int) -> None:
+    def __init__(self, nranks: int, profiler=None) -> None:
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
         self.nranks = nranks
         self.clocks = np.zeros(nranks)
         self.events: list[TraceEvent] = []
+        #: optional live observer with a ``record(event)`` method (e.g.
+        #: :class:`repro.observability.comms.CommProfiler`); ``None`` keeps
+        #: the charge path observer-free
+        self.profiler = profiler
+        #: phase label stamped on events charged now (see :meth:`phase`)
+        self.current_phase = ""
+
+    # -- phases ---------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def phase(self, label: str):
+        """Stamp events charged inside the block with an algorithmic phase.
+
+        Phases nest by replacement (the innermost label wins), mirroring how
+        span labels name the enclosing algorithm section.
+        """
+        previous = self.current_phase
+        self.current_phase = label
+        try:
+            yield self
+        finally:
+            self.current_phase = previous
 
     # -- charging -----------------------------------------------------------
 
@@ -56,10 +108,11 @@ class CostTracker:
         starts = tuple(float(t) for t in np.atleast_1d(self.clocks[idx]))
         self.clocks[idx] += seconds
         ends = tuple(t + seconds for t in starts)
-        self.events.append(
+        self._emit(
             TraceEvent(
                 "compute", self._key(ranks), seconds, 0.0, label,
                 rank_starts=starts, rank_ends=ends,
+                phase=self.current_phase,
             )
         )
 
@@ -68,13 +121,15 @@ class CostTracker:
     ) -> None:
         """Synchronize the participants, then advance all of them."""
         idx = self._as_index(ranks)
-        sync = float(np.max(self.clocks[idx]))
-        n = len(np.atleast_1d(self.clocks[idx]))
+        arrivals = tuple(float(t) for t in np.atleast_1d(self.clocks[idx]))
+        sync = max(arrivals) if arrivals else 0.0
+        n = len(arrivals)
         self.clocks[idx] = sync + seconds
-        self.events.append(
+        self._emit(
             TraceEvent(
                 "collective", self._key(ranks), seconds, nbytes, label,
                 rank_starts=(sync,) * n, rank_ends=(sync + seconds,) * n,
+                rank_arrivals=arrivals, phase=self.current_phase,
             )
         )
 
@@ -83,13 +138,15 @@ class CostTracker:
         label: str = "p2p",
     ) -> None:
         """Point-to-point: receiver finishes at max(send-ready, recv-ready) + t."""
-        ready = max(self.clocks[src], self.clocks[dst])
+        arrivals = (float(self.clocks[src]), float(self.clocks[dst]))
+        ready = max(arrivals)
         self.clocks[src] = ready + seconds
         self.clocks[dst] = ready + seconds
-        self.events.append(
+        self._emit(
             TraceEvent(
                 "p2p", (src, dst), seconds, nbytes, label,
                 rank_starts=(ready, ready), rank_ends=(ready + seconds,) * 2,
+                rank_arrivals=arrivals, phase=self.current_phase,
             )
         )
 
@@ -112,6 +169,13 @@ class CostTracker:
             out[e.label] = out.get(e.label, 0.0) + e.seconds
         return out
 
+    def total_by_phase(self) -> dict[str, float]:
+        """Charged seconds per stamped phase (unstamped events under ``""``)."""
+        out: dict[str, float] = {}
+        for e in self.events:
+            out[e.phase] = out.get(e.phase, 0.0) + e.seconds
+        return out
+
     def total_bytes(self) -> float:
         return float(sum(e.nbytes for e in self.events))
 
@@ -125,6 +189,11 @@ class CostTracker:
         return chrome_trace_from_cost_tracker(self, pid=pid)
 
     # -- helpers -------------------------------------------------------------------
+
+    def _emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+        if self.profiler is not None:
+            self.profiler.record(event)
 
     def _as_index(self, ranks):
         if ranks is None:

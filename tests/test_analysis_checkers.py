@@ -110,6 +110,71 @@ def test_rp006_accepts_registered_invariants(tmp_path):
     assert not [f for f in check_file(good) if f.rule == "RP006"]
 
 
+def test_rp006_flags_direct_clock_mutation():
+    src = (
+        '"""vm"""\n'
+        "def skew(tracker):\n"
+        "    tracker.clocks[0] = 10.0\n"
+        "    tracker.clocks += 1.0\n"
+    )
+    findings = [
+        f for f in unsuppressed(check_file("vm.py", source=src))
+        if f.rule == "RP006"
+    ]
+    assert len(findings) == 2
+    assert all("charge_" in f.message for f in findings)
+
+
+def test_rp006_flags_unprofiled_vm_in_instrumented_path():
+    src = (
+        '"""vm"""\n'
+        "from repro.parallel.trace import CostTracker\n"
+        "\n"
+        "def run(instrumentation=None):\n"
+        "    tracker = CostTracker(8)\n"
+        "    return tracker\n"
+    )
+    findings = [
+        f for f in unsuppressed(check_file("vm.py", source=src))
+        if f.rule == "RP006"
+    ]
+    assert len(findings) == 1
+    assert "profiler" in findings[0].message
+
+
+def test_rp006_accepts_profiled_vm_constructions():
+    # profiler= kwarg, .profiler attach, and attach_comm_profiler all
+    # satisfy the rule; a function not threading instrumentation is out
+    # of scope entirely.
+    src = (
+        '"""vm"""\n'
+        "from repro.parallel.comm import VirtualComm\n"
+        "from repro.parallel.trace import CostTracker\n"
+        "\n"
+        "def run_kwarg(instrumentation, profiler):\n"
+        "    return CostTracker(8, profiler=profiler)\n"
+        "\n"
+        "\n"
+        "def run_attach(instrumentation, profiler):\n"
+        "    tracker = CostTracker(8)\n"
+        "    tracker.profiler = profiler\n"
+        "    return tracker\n"
+        "\n"
+        "\n"
+        "def run_facade(instrumentation, profiler):\n"
+        "    comm = VirtualComm(8)\n"
+        "    instrumentation.attach_comm_profiler(profiler)\n"
+        "    return comm\n"
+        "\n"
+        "\n"
+        "def plain_model_study():\n"
+        "    return CostTracker(4)\n"
+    )
+    assert not [
+        f for f in check_file("vm.py", source=src) if f.rule == "RP006"
+    ]
+
+
 def test_suppression_comments_silence_without_hiding():
     findings = check_file(FIXTURES / "suppressed.py")
     assert findings, "fixture should still produce (suppressed) findings"

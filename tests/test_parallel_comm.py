@@ -162,12 +162,26 @@ def test_nbytes_pins_payload_sizing():
     assert _nbytes(b"abcd") == 4.0
     assert _nbytes("héllo") == float(len("héllo".encode("utf-8")))
     assert _nbytes([np.zeros(3), 1.0, None]) == 3 * 8 + 8.0
-    assert _nbytes({"a": np.zeros(2), "b": None}) == 16.0
+    # dict payloads size keys AND values ("a"/"b" are 1 UTF-8 byte each)
+    assert _nbytes({"a": np.zeros(2), "b": None}) == 18.0
     slab = Slab(data=np.zeros(10), tag=7, note="xy")
     assert _nbytes(slab) == 80.0 + 8.0 + 2.0
     # the dataclass *class* (not an instance) is still opaque
     assert _nbytes(Slab) == _OPAQUE_OBJECT_BYTES
     assert _nbytes(_Payload()) == _OPAQUE_OBJECT_BYTES
+
+
+def test_nbytes_dict_keys_are_sized():
+    """Regression: dict payloads must charge the wire cost of the *keys*
+    too — a halo exchange keyed by (large) neighbor tags is not free."""
+    from repro.parallel.comm import _nbytes
+
+    values = {"north": np.zeros(4), "south": np.zeros(4)}
+    keys_only = float(len(b"north") + len(b"south"))
+    assert _nbytes(values) == keys_only + 2 * 4 * 8
+    # integer keys are sized like any other scalar (8 bytes each)
+    assert _nbytes({0: None, 1: None}) == 16.0
+    assert _nbytes({}) == 0.0
 
 
 def test_reduce_none_entries_cost_nothing():

@@ -118,3 +118,92 @@ def test_legacy_event_without_times_exports_at_origin():
     (ev,) = events
     assert ev["ts"] == 0.0
     assert ev["dur"] == pytest.approx(2e6)
+
+
+def test_empty_event_log_elapsed_and_imbalance_are_zero():
+    t = CostTracker(4)
+    assert t.events == []
+    assert t.elapsed() == 0.0
+    assert t.imbalance() == 0.0
+    assert t.total_by_label() == {}
+    assert t.total_by_phase() == {}
+    assert t.total_bytes() == 0.0
+
+
+def test_single_rank_tracker_edge_cases():
+    t = CostTracker(1)
+    t.charge_compute([0], 2.0, label="solo")
+    # a single-rank collective synchronizes trivially: no wait, no skew
+    t.charge_collective([0], 0.5, nbytes=8.0, label="self")
+    assert t.elapsed() == pytest.approx(2.5)
+    assert t.imbalance() == 0.0
+    ev = t.events[-1]
+    assert ev.rank_arrivals == (2.0,)
+    assert ev.waits() == (0.0,)
+
+
+def test_all_ranks_none_shorthand_in_elapsed_and_imbalance():
+    t = CostTracker(3)
+    t.charge_compute(None, 1.0, label="uniform")
+    assert t.elapsed() == pytest.approx(1.0)
+    assert t.imbalance() == 0.0
+    t.charge_compute([0], 3.0, label="skew")
+    # clocks [4, 1, 1]: imbalance (4 - 2)/4
+    assert t.imbalance() == pytest.approx(0.5)
+    ev = t.events[0]
+    assert ev.ranks is None and ev.rank_starts == (0.0,) * 3
+
+
+def test_phase_stamping_nests_by_replacement():
+    t = CostTracker(2)
+    t.charge_compute([0], 1.0, label="pre")
+    with t.phase("outer"):
+        t.charge_compute([0], 1.0, label="a")
+        with t.phase("inner"):
+            t.charge_collective(None, 0.5, label="b")
+        t.charge_compute([1], 1.0, label="c")
+    t.charge_compute([1], 1.0, label="post")
+    assert [e.phase for e in t.events] == ["", "outer", "inner", "outer", ""]
+    totals = t.total_by_phase()
+    assert totals["outer"] == pytest.approx(2.0)
+    assert totals["inner"] == pytest.approx(0.5)
+    assert totals[""] == pytest.approx(2.0)
+
+
+def test_phase_restored_when_charge_raises():
+    t = CostTracker(2)
+    with pytest.raises(ValueError):
+        with t.phase("broken"):
+            t.charge_compute([0], -1.0)
+    assert t.current_phase == ""
+
+
+def test_collective_arrivals_decompose_wait_and_transfer():
+    t = CostTracker(3)
+    t.charge_compute([0], 4.0)
+    t.charge_compute([1], 1.0)
+    t.charge_collective(None, 0.5, nbytes=24.0, label="allreduce")
+    ev = t.events[-1]
+    assert ev.rank_arrivals == (4.0, 1.0, 0.0)
+    # waits: laggard (rank 0) waits 0, the others align to its clock
+    assert ev.waits() == (0.0, 3.0, 4.0)
+    # accounting identity per rank: compute + wait + transfer == clock
+    for r, (arr, wait) in enumerate(zip(ev.rank_arrivals, ev.waits())):
+        assert arr + wait + ev.seconds == pytest.approx(float(t.clocks[r]))
+
+
+def test_profiler_hook_sees_every_event_at_charge_time():
+    seen = []
+
+    class Recorder:
+        def record(self, event):
+            seen.append((event.kind, event.label, event.phase))
+
+    t = CostTracker(2, profiler=Recorder())
+    with t.phase("p"):
+        t.charge_compute([0], 1.0, label="c")
+        t.charge_collective(None, 0.5, label="g")
+        t.charge_p2p(0, 1, 0.1, label="x")
+    assert seen == [
+        ("compute", "c", "p"), ("collective", "g", "p"), ("p2p", "x", "p"),
+    ]
