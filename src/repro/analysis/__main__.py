@@ -10,7 +10,13 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.analysis.engine import all_checkers, run_paths, unsuppressed
+from repro.analysis.engine import (
+    AnalysisCache,
+    all_checkers,
+    run_paths_full,
+    unsuppressed,
+    unused_suppressions,
+)
 from repro.analysis.reporters import render_json, render_text
 
 
@@ -43,23 +49,52 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="analyse files with N worker threads (default: 1)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="per-file result cache keyed by content hash; invalidated "
+        "automatically when any analysis source changes",
+    )
+    parser.add_argument(
+        "--unused-noqa", action="store_true",
+        help="also report stale '# repro: noqa[...]' suppressions (they "
+        "count toward the exit code)",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
         for checker in all_checkers():
             print(f"{checker.rule}  {checker.name}: {checker.description}")
         return 0
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
-    findings = run_paths(
+    cache = AnalysisCache(args.cache) if args.cache else None
+    run = run_paths_full(
         args.paths,
         select=args.select.split(",") if args.select else None,
         ignore=args.ignore.split(",") if args.ignore else None,
+        jobs=args.jobs,
+        cache=cache,
     )
+    if cache is not None:
+        cache.save()
+    findings = run.findings
     if args.format == "json":
         print(render_json(findings))
     else:
         print(render_text(findings, show_suppressed=args.show_suppressed))
-    return 1 if unsuppressed(findings) else 0
+    stale = (
+        unused_suppressions(findings, run.noqa_by_file)
+        if args.unused_noqa
+        else []
+    )
+    for item in stale:
+        print(item.format())
+    return 1 if (unsuppressed(findings) or stale) else 0
 
 
 if __name__ == "__main__":

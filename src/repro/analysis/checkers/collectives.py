@@ -7,113 +7,138 @@ the :class:`~repro.parallel.comm.VirtualComm` cost model).  The paper's
 ``MPI_COMM_SPLIT``-per-domain pattern (Sec. 3.3) makes this the dominant
 hang class at scale.
 
-Two patterns:
+Since the interprocedural upgrade (DESIGN.md §13) RP005 is a
+*project-scope* rule working from :class:`~repro.analysis.project.
+FunctionSummary` records and the :class:`~repro.analysis.project.
+ProjectIndex` call graph, with alias-aware comm tracking (parameters,
+``self.comm`` attributes, ``split()``-derived sub-communicators):
 
 * **Rank-conditional collectives.**  For each ``if`` whose test depends on
-  a rank-like value (an identifier containing ``rank`` or ``root``), the
-  sets of collective operations invoked in the two branches must match.
-  Nested rank-conditionals are checked independently at every level.
-* **Unmatched point-to-point pairs.**  Within one function, ``.send(...)``
-  and ``.recv(...)`` calls on comm-like receivers must balance.
+  a rank-like value, the *transitively reachable* collective sets of the
+  two branches must match — a collective hidden two helpers deep is found.
+* **Unmatched point-to-point pairs.**  ``send``/``recv`` counts on
+  comm-like receivers must balance over a function's whole call tree.
+  Only call-graph *roots* (functions no analysed function calls) are
+  reported — a lone ``send`` helper is legitimate when its caller pairs it
+  with a ``recv`` helper; the imbalance, if real, surfaces at the root.
+
+``CollectiveMismatchChecker(interprocedural=False)`` restores the PR 2
+per-function behaviour; the regression test encodes the cross-function
+fixture that mode provably misses.
 """
 
 from __future__ import annotations
 
-import ast
 from typing import Iterator
 
-from repro.analysis.checkers._util import (
-    base_name,
-    call_method_name,
-    function_defs,
-    names_in,
-)
-from repro.analysis.engine import Checker, FileContext, Finding, register
+from repro.analysis.engine import Finding, ProjectChecker, register
+from repro.analysis.project import FunctionSummary, ProjectIndex
 
 COLLECTIVES = {
     "barrier", "bcast", "reduce", "allreduce", "gather", "allgather",
     "scatter", "alltoall", "split",
 }
-_RANK_MARKERS = ("rank", "root")
-
-
-def _is_comm_receiver(call: ast.Call) -> bool:
-    """Heuristic: the receiver's root name looks like a communicator."""
-    if not isinstance(call.func, ast.Attribute):
-        return False
-    root = base_name(call.func.value)
-    return root is not None and "comm" in root.lower()
-
-
-def _collective_calls(node: ast.AST) -> set[str]:
-    """Names of collective operations invoked anywhere under ``node``."""
-    out: set[str] = set()
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Call):
-            meth = call_method_name(sub)
-            if meth in COLLECTIVES and _is_comm_receiver(sub):
-                out.add(meth)
-    return out
-
-
-def _rank_dependent(test: ast.expr) -> bool:
-    return any(
-        any(marker in name.lower() for marker in _RANK_MARKERS)
-        for name in names_in(test)
-    )
 
 
 @register
-class CollectiveMismatchChecker(Checker):
+class CollectiveMismatchChecker(ProjectChecker):
     rule = "RP005"
     name = "collective-mismatch"
     description = (
-        "rank-conditional branch reaches a collective the other branch "
-        "skips, or unmatched send/recv pairs — an SPMD deadlock"
+        "rank-conditional branch reaches a collective (directly or through "
+        "helpers) the other branch skips, or unmatched send/recv pairs over "
+        "a call tree — an SPMD deadlock"
     )
 
-    def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for fn in function_defs(ctx.tree):
-            yield from self._check_conditionals(ctx, fn)
-            yield from self._check_point_to_point(ctx, fn)
+    def __init__(self, interprocedural: bool = True) -> None:
+        #: False restores the PR 2 per-function-body analysis (used by the
+        #: regression test proving what that mode misses)
+        self.interprocedural = interprocedural
 
-    def _check_conditionals(self, ctx: FileContext, fn) -> Iterator[Finding]:
-        for node in ast.walk(fn):
-            if not isinstance(node, ast.If) or not _rank_dependent(node.test):
-                continue
-            in_body = _collective_calls(ast.Module(body=node.body, type_ignores=[]))
-            in_else = _collective_calls(ast.Module(body=node.orelse, type_ignores=[]))
-            only_body = in_body - in_else
-            only_else = in_else - in_body
-            for side, ops in (("true", only_body), ("false", only_else)):
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for summary in index.summaries:
+            yield from self._check_rank_sites(index, summary)
+            yield from self._check_point_to_point(index, summary)
+
+    # -- rank-conditional collectives ---------------------------------------
+
+    def _branch_effects(
+        self,
+        index: ProjectIndex,
+        summary: FunctionSummary,
+        direct: list[str],
+        calls: list[str],
+    ) -> tuple[set[str], dict[str, set[str]]]:
+        """(reachable collectives, collective → contributing helpers)."""
+        ops = set(direct)
+        via: dict[str, set[str]] = {}
+        if self.interprocedural:
+            via = index.collectives_via_calls(summary, calls)
+            ops |= set(via)
+        return ops, via
+
+    def _check_rank_sites(
+        self, index: ProjectIndex, summary: FunctionSummary
+    ) -> Iterator[Finding]:
+        for site in summary.rank_sites:
+            in_body, via_body = self._branch_effects(
+                index, summary, site.true_direct, site.true_calls
+            )
+            in_else, via_else = self._branch_effects(
+                index, summary, site.false_direct, site.false_calls
+            )
+            for side, ops, via in (
+                ("true", in_body - in_else, via_body),
+                ("false", in_else - in_body, via_else),
+            ):
                 if not ops:
                     continue
                 ops_s = ", ".join(sorted(ops))
-                yield ctx.finding(
-                    node, self.rule,
-                    f"rank-conditional in {fn.name!r}: the {side} branch "
-                    f"calls collective(s) {{{ops_s}}} the other branch "
-                    f"never reaches — ranks taking different branches "
-                    f"deadlock",
+                helpers = sorted(
+                    {h for op in ops for h in via.get(op, ())}
+                )
+                via_s = (
+                    f" (reached through helper(s) "
+                    f"{', '.join(repr(h) for h in helpers)})"
+                    if helpers
+                    else ""
+                )
+                yield self.finding(
+                    index, summary.path, site.line, site.col,
+                    f"rank-conditional in {summary.name!r}: the {side} "
+                    f"branch calls collective(s) {{{ops_s}}}{via_s} the "
+                    f"other branch never reaches — ranks taking different "
+                    f"branches deadlock",
                 )
 
-    def _check_point_to_point(self, ctx: FileContext, fn) -> Iterator[Finding]:
-        sends = recvs = 0
-        first: ast.AST | None = None
-        for node in ast.walk(fn):
-            if not isinstance(node, ast.Call):
-                continue
-            meth = call_method_name(node)
-            if meth in ("send", "recv") and _is_comm_receiver(node):
-                first = first or node
-                if meth == "send":
-                    sends += 1
-                else:
-                    recvs += 1
-        if first is not None and sends != recvs:
-            yield ctx.finding(
-                first, self.rule,
-                f"unmatched point-to-point pairs in {fn.name!r}: "
-                f"{sends} send(s) vs {recvs} recv(s) on comm-like "
-                f"receivers — a lone send/recv blocks forever",
+    # -- point-to-point balance ---------------------------------------------
+
+    def _check_point_to_point(
+        self, index: ProjectIndex, summary: FunctionSummary
+    ) -> Iterator[Finding]:
+        if self.interprocedural:
+            sends, recvs = index.effective_p2p(summary)
+            if sends == recvs or (sends + recvs) == 0:
+                return
+            # Report at call-graph roots only: a lone-send helper is fine
+            # when a caller pairs it; the *root* shows the real imbalance.
+            if index.callers_of(summary) > 0:
+                return
+            scope = (
+                "over its call tree"
+                if (sends, recvs) != (summary.sends, summary.recvs)
+                else "on comm-like receivers"
             )
+        else:
+            sends, recvs = summary.sends, summary.recvs
+            if sends == recvs or (sends + recvs) == 0:
+                return
+            scope = "on comm-like receivers"
+        line = summary.p2p_line or summary.line
+        col = summary.p2p_col if summary.p2p_line else summary.col
+        yield self.finding(
+            index, summary.path, line, col,
+            f"unmatched point-to-point pairs in {summary.name!r}: "
+            f"{sends} send(s) vs {recvs} recv(s) {scope} — a lone "
+            f"send/recv blocks forever",
+        )

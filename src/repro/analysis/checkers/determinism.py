@@ -1,0 +1,196 @@
+"""RP008 — nondeterminism hazards on SPMD paths.
+
+A metascalable QMD run is only debuggable if every rank computes the same
+answer from the same inputs.  Two Python-level habits quietly break that:
+
+* **Unordered iteration feeding an accumulation.**  ``for x in {…}`` (or
+  over ``set(...)``/a set-comprehension) has arbitrary iteration order —
+  Python randomises ``str`` hashing per process, so two ranks can sum the
+  same floats in different orders and ``allreduce`` then *propagates* the
+  divergence instead of catching it.  Sort first (``sorted(...)``).
+* **Unseeded / global RNG.**  ``np.random.default_rng()`` without a seed,
+  the legacy ``np.random.*`` module-global generator, and stdlib
+  ``random.*`` calls all draw from per-process state that diverges across
+  ranks and across reruns, defeating bitwise reproducibility (the repo's
+  ``default_rng(seed)`` discipline exists for exactly this reason).
+
+RP008 flags both patterns per file.  The accumulation test is
+conservative: a set-iteration is only reported when the loop body
+visibly accumulates (augmented assignment, ``.append``/``.add``/
+``.update``, or a collective call), or when a set expression is passed
+straight into ``sum``/``min``/``max``-style reducers with float risk.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers._util import call_method_name
+from repro.analysis.engine import Checker, FileContext, Finding, register
+
+COLLECTIVES = {
+    "barrier", "bcast", "reduce", "allreduce", "gather", "allgather",
+    "scatter", "alltoall", "split",
+}
+_ACCUMULATOR_METHODS = {"append", "add", "update", "extend"}
+_REDUCERS = {"sum"}
+_RNG_LEGACY_MODULES = {"random"}  # stdlib `random.x(...)`
+
+
+def _is_set_expr(node: ast.expr, set_aliases: set[str]) -> bool:
+    """True when ``node`` evaluates to a set/frozenset (conservatively)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in {"set", "frozenset"}:
+            return True
+    if isinstance(node, ast.Name):
+        return node.id in set_aliases
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        # set algebra keeps set-ness: s.union(t), s.intersection(t), ...
+        if node.func.attr in {
+            "union", "intersection", "difference", "symmetric_difference"
+        }:
+            return _is_set_expr(node.func.value, set_aliases)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_aliases) and _is_set_expr(
+            node.right, set_aliases
+        )
+    return False
+
+
+def _set_aliases(fn: ast.AST) -> set[str]:
+    """Names assigned from set expressions inside ``fn`` (fixed point)."""
+    aliases: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and _is_set_expr(
+                node.value, aliases
+            ):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name) and tgt.id not in aliases:
+                        aliases.add(tgt.id)
+                        changed = True
+    return aliases
+
+
+def _body_accumulates(body: list[ast.stmt]) -> bool:
+    for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+        if isinstance(node, ast.AugAssign):
+            return True
+        if isinstance(node, ast.Call):
+            meth = call_method_name(node)
+            if meth in _ACCUMULATOR_METHODS or meth in COLLECTIVES:
+                return True
+    return False
+
+
+def _numpy_random_attr(node: ast.expr) -> str | None:
+    """``np.random.<fn>`` / ``numpy.random.<fn>`` → ``<fn>``, else None."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    mid = node.value
+    if (
+        isinstance(mid, ast.Attribute)
+        and mid.attr == "random"
+        and isinstance(mid.value, ast.Name)
+        and mid.value.id in {"np", "numpy"}
+    ):
+        return node.attr
+    return None
+
+
+@register
+class DeterminismChecker(Checker):
+    rule = "RP008"
+    name = "spmd-nondeterminism"
+    description = (
+        "nondeterminism hazard on an SPMD path: iteration over an "
+        "unordered set feeding an accumulation/reduction, or unseeded / "
+        "module-global RNG — ranks silently diverge"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        uses_stdlib_random = any(
+            isinstance(node, ast.Import)
+            and any(a.name in _RNG_LEGACY_MODULES for a in node.names)
+            for node in ast.walk(ctx.tree)
+        )
+        set_aliases = _set_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and _is_set_expr(
+                node.iter, set_aliases
+            ):
+                if _body_accumulates(node.body):
+                    yield ctx.finding(
+                        node, self.rule,
+                        "iteration over an unordered set feeds an "
+                        "accumulation — iteration order is arbitrary, so "
+                        "floating-point sums (and anything entering a "
+                        "collective) differ across ranks/reruns; iterate "
+                        "over sorted(...) instead",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(
+                    ctx, node, set_aliases, uses_stdlib_random
+                )
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        set_aliases: set[str],
+        uses_stdlib_random: bool,
+    ) -> Iterator[Finding]:
+        func = call.func
+        # sum({...}) — reduction straight off an unordered iterable
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _REDUCERS
+            and call.args
+            and _is_set_expr(call.args[0], set_aliases)
+        ):
+            yield ctx.finding(
+                call, self.rule,
+                "reduction over an unordered set — summation order is "
+                "arbitrary, so the floating-point result differs across "
+                "ranks/reruns; reduce over sorted(...) instead",
+            )
+            return
+        # np.random.default_rng() with no seed argument
+        np_attr = _numpy_random_attr(func)
+        if np_attr is not None:
+            if np_attr == "default_rng":
+                if not call.args and not call.keywords:
+                    yield ctx.finding(
+                        call, self.rule,
+                        "np.random.default_rng() without a seed draws "
+                        "OS entropy — every rank and rerun gets a "
+                        "different stream; pass an explicit seed",
+                    )
+            elif np_attr != "Generator":
+                yield ctx.finding(
+                    call, self.rule,
+                    f"np.random.{np_attr}() uses the module-global RNG — "
+                    f"shared mutable state whose draw order depends on "
+                    f"call interleaving across ranks/threads; use a "
+                    f"seeded np.random.default_rng(seed) instance",
+                )
+        # stdlib random.x(...) on the process-global generator
+        elif (
+            uses_stdlib_random
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+        ):
+            yield ctx.finding(
+                call, self.rule,
+                f"random.{func.attr}() uses the process-global stdlib "
+                f"RNG — unseeded, shared state that diverges across "
+                f"ranks; use a seeded np.random.default_rng(seed)",
+            )

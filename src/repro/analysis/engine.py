@@ -1,7 +1,7 @@
 """The static-analysis engine: file contexts, checker registry, suppression.
 
 The engine is a deliberately small AST-visitor framework tuned to *this*
-codebase's physics and SPMD idioms (DESIGN.md §9).  A :class:`Checker`
+codebase's physics and SPMD idioms (DESIGN.md §9/§13).  A :class:`Checker`
 inspects one :class:`FileContext` (source + AST + comment map) and yields
 :class:`Finding` records; the engine walks a file tree, runs every
 registered checker, and applies per-line suppression comments of the form::
@@ -16,20 +16,37 @@ Checkers register themselves with :func:`register`; the registry maps rule
 ids (``RP001``...) to checker classes, and :func:`run_paths` is the one
 entry point both the CLI (``python -m repro.analysis``) and the tier-1
 self-check test use.
+
+Two scopes of checker exist since the interprocedural upgrade:
+
+* ``scope = "file"`` (the default) — sees one :class:`FileContext`;
+* ``scope = "project"`` (:class:`ProjectChecker`) — runs once over a
+  :class:`~repro.analysis.project.ProjectIndex` of function summaries
+  spanning every analysed file, so rules like RP005 follow collectives
+  across helper-function boundaries.
+
+``run_paths`` additionally supports an **incremental cache** (per-file
+findings + summaries keyed by content hash; the cheap project pass always
+re-runs from cached summaries) and a ``jobs=`` thread fan-out, so the CI
+analysis job stays fast as the tree and rule count grow.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
+import json
 import pathlib
 import re
 import tokenize
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
-#: ``# repro: noqa`` or ``# repro: noqa[RP001,RP005]`` (trailing text allowed
-#: as a human-readable justification).
+#: Matches the suppression comment — ``repro: noqa`` after a hash, with an
+#: optional ``[RP001,RP005]`` rule list (trailing text allowed as a
+#: human-readable justification).
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?", re.IGNORECASE
 )
@@ -123,6 +140,9 @@ class Checker:
     name: str = "unnamed"
     #: one-line description shown by ``--list-rules``
     description: str = ""
+    #: ``"file"`` (per-:class:`FileContext`) or ``"project"``
+    #: (once over the whole :class:`ProjectIndex`)
+    scope: str = "file"
     #: path substrings this checker skips (implementation modules whose
     #: internals are the thing the rule protects call-sites *from*)
     exempt_paths: tuple[str, ...] = ()
@@ -131,7 +151,37 @@ class Checker:
         norm = ctx.path.replace("\\", "/")
         return not any(part in norm for part in self.exempt_paths)
 
+    def applies_to_path(self, path: str) -> bool:
+        norm = path.replace("\\", "/")
+        return not any(part in norm for part in self.exempt_paths)
+
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectChecker(Checker):
+    """A whole-project rule: sees the call-graph index, not one file.
+
+    Subclasses implement :meth:`check_project`; :meth:`finding` applies the
+    per-line suppression map the index carries for each file.
+    """
+
+    scope = "project"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:  # pragma: no cover
+        return iter(())
+
+    def finding(
+        self, index, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        rules = index.noqa.get(path, {}).get(line, set())
+        suppressed = "*" in rules or self.rule in rules
+        return Finding(
+            rule=self.rule, message=message, path=path,
+            line=line, col=col, suppressed=suppressed,
+        )
+
+    def check_project(self, index) -> Iterator[Finding]:
         raise NotImplementedError
 
 
@@ -168,45 +218,242 @@ def iter_python_files(paths: Sequence[str | pathlib.Path]) -> Iterator[pathlib.P
             yield p
 
 
-def check_file(
-    path: str | pathlib.Path,
-    checkers: Iterable[Checker] | None = None,
-    source: str | None = None,
-) -> list[Finding]:
-    """Run checkers over one file; parse failures become RP000 findings."""
-    path = str(path)
+def _split_scopes(
+    checkers: Iterable[Checker],
+) -> tuple[list[Checker], list[ProjectChecker]]:
+    file_scope: list[Checker] = []
+    project_scope: list[ProjectChecker] = []
+    for c in checkers:
+        if c.scope == "project":
+            project_scope.append(c)  # type: ignore[arg-type]
+        else:
+            file_scope.append(c)
+    return file_scope, project_scope
+
+
+@dataclass
+class FileResult:
+    """Per-file analysis product: what the incremental cache stores."""
+
+    path: str
+    findings: list[Finding]
+    summaries: list  # list[FunctionSummary]
+    noqa: dict[int, set[str]]
+    from_cache: bool = False
+
+
+def _analyse_one(
+    path: str,
+    source: str | None,
+    file_checkers: list[Checker],
+    need_summaries: bool,
+) -> FileResult:
+    """Parse + file-scope checks + (optionally) function summaries."""
+    from repro.analysis.project import summarize_file
+
     if source is None:
         source = pathlib.Path(path).read_text()
     try:
         ctx = FileContext.from_source(path, source)
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule=PARSE_ERROR_RULE,
-                message=f"could not parse: {exc.msg}",
-                path=path,
-                line=exc.lineno or 1,
-                col=exc.offset or 0,
-            )
-        ]
+        finding = Finding(
+            rule=PARSE_ERROR_RULE,
+            message=f"could not parse: {exc.msg}",
+            path=path,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+        )
+        return FileResult(path, [finding], [], {})
     findings: list[Finding] = []
-    for checker in checkers if checkers is not None else all_checkers():
+    for checker in file_checkers:
         if checker.applies_to(ctx):
             findings.extend(checker.check(ctx))
+    summaries = summarize_file(ctx) if need_summaries else []
+    return FileResult(path, findings, summaries, ctx.noqa)
+
+
+def _run_project_checkers(
+    project_checkers: list[ProjectChecker], results: list[FileResult]
+) -> list[Finding]:
+    from repro.analysis.project import build_index
+
+    if not project_checkers:
+        return []
+    index = build_index(
+        (r.path, r.summaries, r.noqa) for r in results
+    )
+    findings: list[Finding] = []
+    for checker in project_checkers:
+        findings.extend(
+            f for f in checker.check_project(index)
+            if checker.applies_to_path(f.path)
+        )
+    return findings
+
+
+def check_file(
+    path: str | pathlib.Path,
+    checkers: Iterable[Checker] | None = None,
+    source: str | None = None,
+) -> list[Finding]:
+    """Run checkers over one file; parse failures become RP000 findings.
+
+    Project-scope checkers see a single-file project — interprocedural
+    reasoning still applies *within* the file.
+    """
+    path = str(path)
+    suite = list(checkers) if checkers is not None else all_checkers()
+    file_checkers, project_checkers = _split_scopes(suite)
+    result = _analyse_one(path, source, file_checkers, bool(project_checkers))
+    findings = list(result.findings)
+    findings.extend(_run_project_checkers(project_checkers, [result]))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
+
+
+# -- incremental cache ---------------------------------------------------------
+
+#: bump when the cache payload layout itself changes
+CACHE_LAYOUT = 1
+
+_suite_signature_cache: str | None = None
+
+
+def suite_signature() -> str:
+    """Hash of the analyser's own source: any change invalidates the cache.
+
+    Covers the engine, the project layer, and every checker module, so a
+    rule tweak can never serve stale findings from a content-hash hit.
+    """
+    global _suite_signature_cache
+    if _suite_signature_cache is None:
+        h = hashlib.sha256()
+        pkg = pathlib.Path(__file__).parent
+        for f in sorted(pkg.rglob("*.py")):
+            h.update(f.name.encode())
+            h.update(f.read_bytes())
+        _suite_signature_cache = h.hexdigest()[:16]
+    return _suite_signature_cache
+
+
+def _content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode()).hexdigest()[:16]
+
+
+class AnalysisCache:
+    """Per-file result cache keyed by content hash + suite signature.
+
+    Stores file-scope findings, function summaries, and the suppression
+    map — everything :func:`run_paths` needs to skip the parse entirely on
+    a hit.  Project-scope findings are *never* cached (they depend on the
+    whole tree); they recompute cheaply from the cached summaries.
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, dict] = {}
+        if self.path.exists():
+            try:
+                doc = json.loads(self.path.read_text())
+            except (OSError, json.JSONDecodeError):
+                doc = {}
+            if (
+                doc.get("layout") == CACHE_LAYOUT
+                and doc.get("suite") == suite_signature()
+            ):
+                self._entries = doc.get("files", {})
+
+    def get(self, path: str, content_hash: str) -> FileResult | None:
+        from repro.analysis.project import FunctionSummary
+
+        entry = self._entries.get(path)
+        if entry is None or entry.get("hash") != content_hash:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return FileResult(
+            path=path,
+            findings=[
+                Finding(**{**d, "suppressed": bool(d["suppressed"])})
+                for d in entry["findings"]
+            ],
+            summaries=[
+                FunctionSummary.from_dict(d) for d in entry["summaries"]
+            ],
+            noqa={
+                int(line): set(rules)
+                for line, rules in entry["noqa"].items()
+            },
+            from_cache=True,
+        )
+
+    def put(self, result: FileResult, content_hash: str) -> None:
+        self._entries[result.path] = {
+            "hash": content_hash,
+            "findings": [f.to_dict() for f in result.findings],
+            "summaries": [s.to_dict() for s in result.summaries],
+            "noqa": {
+                str(line): sorted(rules)
+                for line, rules in result.noqa.items()
+            },
+        }
+
+    def save(self) -> None:
+        payload = {
+            "layout": CACHE_LAYOUT,
+            "suite": suite_signature(),
+            "files": self._entries,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(self.path)
+
+
+@dataclass
+class RunResult:
+    """Everything one :func:`run_paths` pass produced.
+
+    ``findings`` is the combined, sorted stream (file + project scope);
+    ``noqa_by_file`` feeds the stale-suppression audit; ``cache_hits`` /
+    ``cache_misses`` report incremental-mode effectiveness.
+    """
+
+    findings: list[Finding]
+    noqa_by_file: dict[str, dict[int, set[str]]] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 def run_paths(
     paths: Sequence[str | pathlib.Path],
     select: Sequence[str] | None = None,
     ignore: Sequence[str] | None = None,
+    jobs: int = 1,
+    cache: str | pathlib.Path | AnalysisCache | None = None,
 ) -> list[Finding]:
     """Analyse every python file under ``paths`` with the full suite.
 
     ``select``/``ignore`` filter by rule id; suppression comments are
     applied per line.  Returns *all* findings (suppressed ones flagged).
+    ``jobs`` fans the per-file parse+check work over a thread pool;
+    ``cache`` (a path or :class:`AnalysisCache`) enables incremental mode.
     """
+    return run_paths_full(
+        paths, select=select, ignore=ignore, jobs=jobs, cache=cache
+    ).findings
+
+
+def run_paths_full(
+    paths: Sequence[str | pathlib.Path],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    jobs: int = 1,
+    cache: str | pathlib.Path | AnalysisCache | None = None,
+) -> RunResult:
+    """Like :func:`run_paths` but returns the full :class:`RunResult`."""
     checkers = all_checkers()
     if select:
         wanted = {r.upper() for r in select}
@@ -214,11 +461,95 @@ def run_paths(
     if ignore:
         dropped = {r.upper() for r in ignore}
         checkers = [c for c in checkers if c.rule not in dropped]
+    file_checkers, project_checkers = _split_scopes(checkers)
+
+    if cache is not None and not isinstance(cache, AnalysisCache):
+        cache = AnalysisCache(cache)
+
+    def analyse(path: pathlib.Path) -> FileResult:
+        source = path.read_text()
+        if cache is not None:
+            digest = _content_hash(source)
+            hit = cache.get(str(path), digest)
+            if hit is not None:
+                return hit
+            result = _analyse_one(str(path), source, file_checkers, True)
+            cache.put(result, digest)
+            return result
+        # Summaries are only needed when a project checker will run.
+        return _analyse_one(
+            str(path), source, file_checkers, bool(project_checkers)
+        )
+
+    files = list(iter_python_files(paths))
+    if jobs > 1 and len(files) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(analyse, files))
+    else:
+        results = [analyse(p) for p in files]
+    if cache is not None:
+        cache.save()
+
     findings: list[Finding] = []
-    for path in iter_python_files(paths):
-        findings.extend(check_file(path, checkers))
-    return findings
+    for r in results:
+        findings.extend(r.findings)
+    findings.extend(_run_project_checkers(project_checkers, results))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return RunResult(
+        findings=findings,
+        noqa_by_file={r.path: r.noqa for r in results},
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )
 
 
 def unsuppressed(findings: Iterable[Finding]) -> list[Finding]:
     return [f for f in findings if not f.suppressed]
+
+
+# -- stale-suppression audit ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UnusedNoqa:
+    """A ``# repro: noqa[...]`` entry that no longer suppresses anything."""
+
+    path: str
+    line: int
+    #: the stale rule ids, or ``("*",)`` for a blanket noqa with no finding
+    rules: tuple[str, ...]
+
+    def format(self) -> str:
+        spec = "" if self.rules == ("*",) else f"[{','.join(self.rules)}]"
+        return (
+            f"{self.path}:{self.line}: unused suppression "
+            f"`# repro: noqa{spec}` — no finding on this line"
+        )
+
+
+def unused_suppressions(
+    findings: Iterable[Finding],
+    noqa_by_file: dict[str, dict[int, set[str]]],
+) -> list[UnusedNoqa]:
+    """Suppression comments that suppress nothing (per rule id).
+
+    A blanket ``noqa`` is stale when *no* rule fires on its line; a
+    rule-scoped ``noqa[RP00x,...]`` reports each listed rule that no
+    finding on that line carries.  Findings include suppressed ones — that
+    is exactly what a live suppression produces.
+    """
+    fired: dict[tuple[str, int], set[str]] = {}
+    for f in findings:
+        fired.setdefault((f.path, f.line), set()).add(f.rule)
+    out: list[UnusedNoqa] = []
+    for path, lines in sorted(noqa_by_file.items()):
+        for line, rules in sorted(lines.items()):
+            present = fired.get((path, line), set())
+            if "*" in rules:
+                if not present:
+                    out.append(UnusedNoqa(path, line, ("*",)))
+                continue
+            stale = tuple(sorted(r for r in rules if r not in present))
+            if stale:
+                out.append(UnusedNoqa(path, line, stale))
+    return out

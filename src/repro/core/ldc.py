@@ -58,6 +58,7 @@ from repro.dft.pseudopotential import NonlocalProjectors, local_potential
 from repro.dft.scf import initial_density
 from repro.dft.xc import lda_xc
 from repro.multigrid.poisson import MultigridPoisson
+from repro.sanitize import ENV_SANITIZERS, Sanitizers
 from repro.systems.configuration import Configuration
 
 if TYPE_CHECKING:
@@ -325,6 +326,7 @@ def run_ldc(
     grid: RealSpaceGrid | None = None,
     instrumentation: Instrumentation | None = None,
     workspace: LDCWorkspace | None = None,
+    sanitize: Sanitizers | None = None,
 ) -> LDCResult:
     """Run the LDC-DFT (or classic DC-DFT) SCF loop to self-consistency.
 
@@ -334,6 +336,13 @@ def run_ldc(
     ``poisson.*`` telemetry when the multigrid solver is selected.  The
     default ``None`` executes no telemetry code.
 
+    ``sanitize`` optionally accepts a :class:`~repro.sanitize.Sanitizers`
+    bundle: numerics tripwires fire at the density/potential/eigenvalue
+    checkpoints and the race detector guards the shared buffers over the
+    ``ldc_workers`` fan-out.  ``None`` (the default) defers to
+    ``REPRO_SANITIZE`` and, when that is unset too, executes zero
+    sanitizer code on the hot path.
+
     ``workspace`` optionally accepts a persistent
     :class:`~repro.core.workspace.LDCWorkspace`: the grid, decomposition,
     partition of unity, per-domain bases, and Ewald structure come from its
@@ -342,16 +351,17 @@ def run_ldc(
     Mutually exclusive with ``grid``.
     """
     opts = options or LDCOptions()
+    san = sanitize if sanitize is not None else ENV_SANITIZERS
     if instrumentation is None:
         return _run_ldc(config, opts, compute_forces, rho0, grid, None,
-                        workspace)
+                        workspace, san)
     with instrumentation.span(
         "ldc.run", category="ldc", natoms=len(config.symbols),
         mode=opts.mode, domains=str(opts.domains), buffer=opts.buffer,
     ) as span:
         result = _run_ldc(
             config, opts, compute_forces, rho0, grid, instrumentation,
-            workspace,
+            workspace, san,
         )
         span.attrs.update(
             converged=result.converged, iterations=result.iterations,
@@ -378,8 +388,9 @@ def _run_ldc(
     grid: RealSpaceGrid | None,
     ins: Instrumentation | None,
     workspace: LDCWorkspace | None = None,
+    san: Sanitizers | None = None,
 ) -> LDCResult:
-    """LDC implementation; ``ins`` is the instrumentation facade or None."""
+    """LDC implementation; ``ins``/``san`` are the facades or None."""
     hm = None if ins is None else ins.health
     ewald_structure = None
     if workspace is not None:
@@ -430,9 +441,13 @@ def _run_ldc(
         rho0 = None  # stale-shaped warm start (grid changed) → cold start
     rho = initial_density(grid, config) if rho0 is None else rho0.copy()
     rho = renormalize(rho, n_electrons, grid.dv)
+    if san is not None and san.numerics is not None:
+        san.numerics.check(
+            "rho0", rho, where="ldc.init", expect_dtype=np.float64
+        )
 
     mg = (
-        MultigridPoisson(grid, instrumentation=ins)
+        MultigridPoisson(grid, instrumentation=ins, sanitize=san)
         if opts.poisson == "multigrid"
         else None
     )
@@ -469,8 +484,13 @@ def _run_ldc(
                 t_iter = ins.tracer.now()
             mu, rho_out, components, bnd_err, vh_prev = _scf_pass(
                 grid, states, rho, v_loc_global, e_ewald, n_electrons,
-                xi, mg, vh_prev, opts, ins, executor,
+                xi, mg, vh_prev, opts, ins, executor, san,
             )  # vh_prev is reused as the next iteration's Poisson warm start
+            if san is not None and san.numerics is not None:
+                san.numerics.check(
+                    "rho_new", rho_out, where=f"ldc.iteration[{it}]",
+                    expect_dtype=np.float64,
+                )
             boundary_errors.append(bnd_err)
             rho_out = renormalize(
                 np.clip(rho_out, 0.0, None), n_electrons, grid.dv
@@ -516,7 +536,7 @@ def _run_ldc(
         # Final consistent evaluation at the converged density.
         mu, rho_final, components, bnd_err, _ = _scf_pass(
             grid, states, rho, v_loc_global, e_ewald, n_electrons,
-            xi, mg, vh_prev, opts, ins, executor,
+            xi, mg, vh_prev, opts, ins, executor, san,
         )
     finally:
         if executor is not None:
@@ -571,12 +591,16 @@ def _scf_pass(
     opts: LDCOptions,
     ins: Instrumentation | None = None,
     executor: ThreadPoolExecutor | None = None,
+    san: Sanitizers | None = None,
 ) -> tuple[float, np.ndarray, dict[str, float], float, np.ndarray]:
     """One global-local pass: potentials → domain solves → μ → density.
 
     The per-domain solves are independent; with ``executor`` set they fan
     out across threads and the results are folded back in domain-index
-    order, so the assembled physics is identical to the serial path.
+    order, so the assembled physics is identical to the serial path.  With
+    ``san`` set, the race sanitizer freezes the shared input fields over
+    the fan-out (workers own only their domain) and the numerics sanitizer
+    checks the potential/eigenvalue checkpoints.
 
     Returns (μ, assembled density, energy components, mean boundary-density
     error, Hartree potential field — the caller's Poisson warm start).
@@ -588,6 +612,9 @@ def _scf_pass(
     _, vxc = lda_xc(rho)
     v_hxc_global = vh + vxc
     v_ks_global = v_loc_global + v_hxc_global
+    if san is not None and san.numerics is not None:
+        san.numerics.check("hartree_potential", vh, where="ldc.scf_pass")
+        san.numerics.check("v_ks_global", v_ks_global, where="ldc.scf_pass")
 
     all_eigs: list[np.ndarray] = []
     all_weights: list[np.ndarray] = []
@@ -612,7 +639,25 @@ def _scf_pass(
             return res, err, dt
 
         # executor.map preserves input order → deterministic fold below
-        outcomes = list(executor.map(_run_one, active))
+        if san is not None and san.race is not None:
+            race = san.race
+
+            def _run_one_claimed(
+                item: tuple[int, DomainState],
+            ) -> tuple[EigenResult, float | None, float | None]:
+                # two workers claiming one domain is a scheduling bug the
+                # exclusive claim turns into an immediate RaceError
+                with race.exclusive(("ldc.domain", item[0]),
+                                    f"domain-{item[0]}"):
+                    return _run_one(item)
+
+            with race.guard_readonly(
+                {"rho": rho, "v_hxc_global": v_hxc_global,
+                 "v_ks_global": v_ks_global}
+            ):
+                outcomes = list(executor.map(_run_one_claimed, active))
+        else:
+            outcomes = list(executor.map(_run_one, active))
     else:
         outcomes = []
         for idom, state in active:
@@ -664,6 +709,9 @@ def _scf_pass(
     eigs_cat = np.concatenate(all_eigs)
     w_cat = np.concatenate(all_weights)
     mu = find_chemical_potential(eigs_cat, n_electrons, opts.kt, weights=w_cat)
+    if san is not None and san.numerics is not None:
+        san.numerics.check("eigenvalues", eigs_cat, where="ldc.scf_pass")
+        san.numerics.check("mu", mu, where="ldc.scf_pass")
 
     if ins is not None:
         t_asm = ins.tracer.now()

@@ -61,6 +61,7 @@ def run_parallel_ldc(
     cg_per_scf: int = 3,
     instrumentation=None,
     schedule: Schedule | None = None,
+    sanitize=None,
 ) -> ParallelLDCResult:
     """Execute LDC-DFT and charge its phases to a virtual machine.
 
@@ -86,11 +87,17 @@ def run_parallel_ldc(
         :func:`~repro.parallel.scheduler.schedule_manual`).  ``None`` (the
         default) LPT-schedules by the actual domain atom counts.  Its
         ``ngroups`` must match ``min(total_ranks, ndomains)``.
+    sanitize:
+        Optional :class:`~repro.sanitize.Sanitizers` bundle forwarded to
+        the LDC solve (numerics/race checkpoints).  ``None`` defers to
+        ``REPRO_SANITIZE``.
     """
     if total_ranks < 1:
         raise ValueError("total_ranks must be >= 1")
     opts = options or LDCOptions()
-    result = run_ldc(config, opts, instrumentation=instrumentation)
+    result = run_ldc(
+        config, opts, instrumentation=instrumentation, sanitize=sanitize
+    )
 
     active = [s for s in result.states if s.nband > 0]
     ndomains = max(len(active), 1)

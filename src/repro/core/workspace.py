@@ -111,6 +111,27 @@ class LDCWorkspace:
         """Whether the next ``prepare`` can seed any domain from cached ψ."""
         return bool(self._solver_state)
 
+    def shared_buffers(self) -> dict[str, np.ndarray]:
+        """Arrays shared across the ``ldc_workers`` fan-out, by name.
+
+        This is the race sanitizer's guard list
+        (:meth:`repro.sanitize.race.RaceSanitizer.guard_readonly`): the
+        partition-of-unity windows and every cached converged ψ/v_bc/ρ_α
+        are read concurrently by domain workers and must only be written
+        by the coordinating thread after the join.
+        """
+        buffers: dict[str, np.ndarray] = {}
+        if self.pou is not None:
+            for idom, window in enumerate(self.pou):
+                buffers[f"pou[{idom}]"] = window
+        for idom, (psi, vbc, rho_a) in self._solver_state.items():
+            buffers[f"psi[{idom}]"] = psi
+            if vbc is not None:
+                buffers[f"vbc[{idom}]"] = vbc
+            if rho_a is not None:
+                buffers[f"rho_local[{idom}]"] = rho_a
+        return buffers
+
     def reset(self) -> None:
         """Drop everything (structures and orbital cache)."""
         self._cell = None

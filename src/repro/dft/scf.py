@@ -37,6 +37,7 @@ from repro.dft.occupations import (
 )
 from repro.dft.pseudopotential import NonlocalProjectors, local_potential
 from repro.dft.xc import lda_xc
+from repro.sanitize import ENV_SANITIZERS, Sanitizers
 from repro.systems.configuration import Configuration
 
 if TYPE_CHECKING:
@@ -171,6 +172,7 @@ def run_scf(
     grid: RealSpaceGrid | None = None,
     instrumentation: Instrumentation | None = None,
     psi0: np.ndarray | None = None,
+    sanitize: "Sanitizers | None" = None,
 ) -> SCFResult:
     """Run the conventional SCF loop to self-consistency.
 
@@ -197,16 +199,22 @@ def run_scf(
         Optional starting orbitals ``(npw, nband)`` — e.g. the previous MD
         step's converged block (the QMD orbital warm start).  Ignored when
         the shape does not match the basis/band count of this call.
+    sanitize:
+        Optional :class:`~repro.sanitize.Sanitizers` bundle; the numerics
+        slot checks density/eigenvalue checkpoints each iteration.  The
+        default ``None`` defers to ``REPRO_SANITIZE`` and, when unset,
+        executes zero sanitizer code.
     """
     opts = options or SCFOptions()
+    san = sanitize if sanitize is not None else ENV_SANITIZERS
     if instrumentation is None:
-        return _run_scf(config, opts, v_extra, rho0, grid, None, psi0)
+        return _run_scf(config, opts, v_extra, rho0, grid, None, psi0, san)
     with instrumentation.span(
         "scf.run", category="scf", natoms=len(config.symbols),
         eigensolver=opts.eigensolver, mixer=opts.mixer,
     ) as span:
         result = _run_scf(
-            config, opts, v_extra, rho0, grid, instrumentation, psi0
+            config, opts, v_extra, rho0, grid, instrumentation, psi0, san
         )
         span.attrs.update(
             converged=result.converged, iterations=result.iterations
@@ -231,8 +239,9 @@ def _run_scf(
     grid: RealSpaceGrid | None,
     ins: Instrumentation | None,
     psi0: np.ndarray | None = None,
+    san: "Sanitizers | None" = None,
 ) -> SCFResult:
-    """SCF implementation; ``ins`` is the instrumentation facade or None."""
+    """SCF implementation; ``ins``/``san`` are the facades or None."""
     hm = None if ins is None else ins.health
     if grid is None:
         grid = RealSpaceGrid.for_cutoff(config.cell, opts.ecut, opts.grid_factor)
@@ -251,6 +260,10 @@ def _run_scf(
         rho0 = None  # stale-shaped warm start (grid changed) → cold start
     rho = initial_density(grid, config) if rho0 is None else rho0.copy()
     rho = renormalize(rho, n_electrons, grid.dv)
+    if san is not None and san.numerics is not None:
+        san.numerics.check(
+            "rho0", rho, where="scf.init", expect_dtype=np.float64
+        )
     if psi0 is not None and psi0.shape == (basis.npw, nband):
         psi = psi0  # orbital warm start (previous MD step's converged block)
     else:
@@ -295,6 +308,14 @@ def _run_scf(
         mu, occs = _occupy(eigs, n_electrons, opts)
         rho_out = density_from_fields(eig.fields, occs)
         rho_out = renormalize(rho_out, n_electrons, grid.dv)
+        if san is not None and san.numerics is not None:
+            san.numerics.check(
+                "eigenvalues", eigs, where=f"scf.iteration[{it}]"
+            )
+            san.numerics.check(
+                "rho_new", rho_out, where=f"scf.iteration[{it}]",
+                expect_dtype=np.float64,
+            )
 
         resid = grid.integrate(np.abs(rho_out - rho)) / max(n_electrons, 1.0)
         residuals.append(resid)

@@ -62,13 +62,17 @@ class LDCEngine:
     """
 
     def __init__(
-        self, options=None, instrumentation=None, use_workspace: bool = True
+        self, options=None, instrumentation=None, use_workspace: bool = True,
+        sanitize=None,
     ) -> None:
         from repro.core.ldc import LDCOptions
         from repro.core.workspace import LDCWorkspace
 
         self.options = options or LDCOptions()
         self.instrumentation = instrumentation
+        #: optional :class:`repro.sanitize.Sanitizers` bundle threaded into
+        #: every solve (None defers to REPRO_SANITIZE)
+        self.sanitize = sanitize
         self.workspace = LDCWorkspace() if use_workspace else None
         self._rho = None
         self._cell = None
@@ -89,6 +93,7 @@ class LDCEngine:
         result = run_ldc(
             config, self.options, compute_forces=True, rho0=self._rho,
             instrumentation=ins, workspace=self.workspace,
+            sanitize=self.sanitize,
         )
         self._rho = result.density
         return result.forces, result.energy, result.iterations
@@ -113,12 +118,15 @@ class SCFEngine:
 
     def __init__(
         self, options=None, instrumentation=None,
-        use_orbital_warm_start: bool = True,
+        use_orbital_warm_start: bool = True, sanitize=None,
     ) -> None:
         from repro.dft.scf import SCFOptions
 
         self.options = options or SCFOptions()
         self.instrumentation = instrumentation
+        #: optional :class:`repro.sanitize.Sanitizers` bundle threaded into
+        #: every solve (None defers to REPRO_SANITIZE)
+        self.sanitize = sanitize
         self.use_orbital_warm_start = use_orbital_warm_start
         self._rho = None
         self._psi = None
@@ -140,7 +148,7 @@ class SCFEngine:
             _record_warm_start(ins, "pw", start)
         result = run_scf(
             config, self.options, rho0=self._rho, instrumentation=ins,
-            psi0=self._psi,
+            psi0=self._psi, sanitize=self.sanitize,
         )
         self._rho = result.density
         if self.use_orbital_warm_start:

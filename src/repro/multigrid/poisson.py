@@ -62,6 +62,7 @@ class MultigridPoisson:
         post_sweeps: int = 2,
         min_size: int = 4,
         instrumentation=None,
+        sanitize=None,
     ) -> None:
         self.grid = grid
         self.hierarchy = GridHierarchy(grid.lengths, grid.shape, min_size)
@@ -70,6 +71,9 @@ class MultigridPoisson:
         self.last_stats: MGStats | None = None
         #: optional Instrumentation facade; records ``poisson.*`` telemetry
         self.instrumentation = instrumentation
+        #: optional :class:`repro.sanitize.Sanitizers` bundle; the numerics
+        #: slot checks each solve's source and solution for NaN/Inf
+        self.sanitize = sanitize
 
     # -- public API -----------------------------------------------------------
 
@@ -86,6 +90,9 @@ class MultigridPoisson:
         cycle — the standard QMD trick for O(1) cycles per step.
         """
         ins = self.instrumentation
+        san = self.sanitize
+        if san is not None and san.numerics is not None:
+            san.numerics.check("rho", rho, where="poisson.solve")
         if ins is not None:
             t0 = ins.tracer.now()
         rhs = -4.0 * np.pi * (rho - float(np.mean(rho)))
@@ -127,6 +134,8 @@ class MultigridPoisson:
                     converged=converged, iterations=cycles,
                     residual=norms[-1] if norms else None,
                 )
+        if san is not None and san.numerics is not None:
+            san.numerics.check("v_hartree", u, where="poisson.solve")
         return u
 
     # -- internals --------------------------------------------------------------

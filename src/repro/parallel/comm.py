@@ -83,6 +83,15 @@ class VirtualComm:
         sub-communicator from :meth:`split` — charges is profiled with its
         wait/transfer decomposition.  ``None`` (the default) keeps the
         charge path observer-free.
+    sanitizer:
+        Optional collective-schedule sanitizer (in practice a
+        :class:`repro.sanitize.collective.CollectiveScheduleSanitizer`)
+        consulted *before* each collective executes: it validates roots
+        and payload congruence and keeps a schedule ledger, raising a
+        diagnosis instead of letting a malformed collective produce a
+        silently wrong answer.  Propagated to sub-communicators from
+        :meth:`split`.  ``None`` (the default) keeps every collective
+        sanitizer-free — not a single extra call.
     """
 
     def __init__(
@@ -93,6 +102,7 @@ class VirtualComm:
         world_ranks: Sequence[int] | None = None,
         name: str = "world",
         profiler=None,
+        sanitizer=None,
     ) -> None:
         if size < 1:
             raise ValueError("communicator size must be >= 1")
@@ -106,6 +116,7 @@ class VirtualComm:
             raise ValueError("world_ranks length must equal size")
         self.name = name
         self.profiler = profiler
+        self.sanitizer = sanitizer
         if profiler is not None and tracker is not None:
             tracker.profiler = profiler
 
@@ -144,11 +155,15 @@ class VirtualComm:
     # -- collectives -----------------------------------------------------------
 
     def barrier(self) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.record(self, "barrier", None, None)
         self._charge(self._collective_time(8.0), 0.0, "barrier")
 
     def bcast(self, values: Sequence[Any], root: int = 0) -> list[Any]:
         """Every rank receives the root's value."""
         self._validate(values)
+        if self.sanitizer is not None:
+            self.sanitizer.record(self, "bcast", root, values)
         payload = values[root]
         nbytes = _nbytes(payload)
         t = (
@@ -167,6 +182,8 @@ class VirtualComm:
     ) -> list[Any]:
         """Root holds the reduction; other ranks hold ``None``."""
         self._validate(values)
+        if self.sanitizer is not None:
+            self.sanitizer.record(self, "reduce", root, values)
         acc = values[0]
         for v in values[1:]:
             acc = op(acc, v)
@@ -179,6 +196,8 @@ class VirtualComm:
         self, values: Sequence[Any], op: Callable[[Any, Any], Any] = np.add
     ) -> list[Any]:
         self._validate(values)
+        if self.sanitizer is not None:
+            self.sanitizer.record(self, "allreduce", None, values)
         acc = values[0]
         for v in values[1:]:
             acc = op(acc, v)
@@ -188,6 +207,8 @@ class VirtualComm:
 
     def gather(self, values: Sequence[Any], root: int = 0) -> list[Any]:
         self._validate(values)
+        if self.sanitizer is not None:
+            self.sanitizer.record(self, "gather", root, values)
         nbytes = sum(_nbytes(v) for v in values)
         t = self._collective_time(nbytes / max(self.size, 1))
         self._charge(t, nbytes, "gather")
@@ -195,6 +216,8 @@ class VirtualComm:
 
     def allgather(self, values: Sequence[Any]) -> list[list[Any]]:
         self._validate(values)
+        if self.sanitizer is not None:
+            self.sanitizer.record(self, "allgather", None, values)
         nbytes = sum(_nbytes(v) for v in values)
         self._charge(self._collective_time(nbytes), nbytes * self.size, "allgather")
         return [list(values) for _ in range(self.size)]
@@ -203,6 +226,8 @@ class VirtualComm:
         """Root's list of ``size`` chunks is distributed, one per rank."""
         if len(chunks) != self.size:
             raise ValueError("scatter needs one chunk per rank")
+        if self.sanitizer is not None:
+            self.sanitizer.record(self, "scatter", root, chunks)
         nbytes = sum(_nbytes(c) for c in chunks)
         t = self._collective_time(nbytes / max(self.size, 1))
         self._charge(t, nbytes, "scatter")
@@ -217,6 +242,8 @@ class VirtualComm:
         for row in matrix:
             if len(row) != self.size:
                 raise ValueError("alltoall needs a square value matrix")
+        if self.sanitizer is not None:
+            self.sanitizer.record(self, "alltoall", None, matrix)
         per_pair = _nbytes(matrix[0][0])
         t = (
             self.topology.alltoall_time(per_pair, self.size)
@@ -239,6 +266,8 @@ class VirtualComm:
         original rank order).
         """
         self._validate(colors)
+        if self.sanitizer is not None:
+            self.sanitizer.record(self, "split", None, colors)
         if keys is None:
             keys = list(range(self.size))
         groups: dict[int, list[int]] = {}
@@ -254,6 +283,7 @@ class VirtualComm:
                 world_ranks=[self.world_ranks[m] for m in members],
                 name=f"{self.name}/color{color}",
                 profiler=self.profiler,
+                sanitizer=self.sanitizer,
             )
         self._charge(0.0, 0.0, "comm_split")
         return [comms[colors[r]] for r in range(self.size)]

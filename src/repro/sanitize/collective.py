@@ -1,0 +1,586 @@
+"""Collective-schedule sanitizer: SPMD divergence → immediate diagnosis.
+
+Two coupled tools (DESIGN.md §13):
+
+* :class:`CollectiveScheduleSanitizer` — an observer a
+  :class:`~repro.parallel.comm.VirtualComm` calls before every collective
+  (``comm.sanitizer``).  It keeps a per-communicator schedule ledger and
+  verifies what the simulated-MPI call signature *can't*: the root is a
+  valid rank (``root=-1`` silently "works" via Python indexing), and
+  elementwise collectives (``reduce``/``allreduce``) get congruent
+  payloads on every rank — a mismatched shape broadcasts silently and
+  produces a wrong answer instead of the crash real MPI would give.
+
+* :func:`run_spmd` — true SPMD emulation: one thread per rank runs the
+  same function against a :class:`RankComm` proxy.  Every collective is a
+  rendezvous keyed by (kind, root, nbytes class, sequence number); a rank
+  entering a *different* collective raises :class:`CollectiveMismatchError`
+  naming every rank's pending operation and call site, and a rank that
+  never arrives turns the hang into a :class:`DeadlockError` within
+  ``timeout`` seconds, naming who waits where and who is missing.  This is
+  what converts the paper's dominant at-scale failure mode — a
+  rank-conditional collective — from a silent hang into a diagnostic.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.parallel.comm import VirtualComm
+
+
+class SanitizerError(RuntimeError):
+    """Base class for every runtime-sanitizer diagnosis."""
+
+
+class CollectiveMismatchError(SanitizerError):
+    """Ranks disagreed about which collective (or payload) comes next."""
+
+
+class DeadlockError(SanitizerError):
+    """A collective or recv waited past the timeout for missing ranks."""
+
+
+#: Collectives whose ``root`` must be a valid member rank.
+_ROOTED = {"bcast", "reduce", "gather", "scatter"}
+#: Elementwise collectives: every rank's payload must be congruent.
+_ELEMENTWISE = {"reduce", "allreduce"}
+
+
+def _nbytes_class(value: Any) -> int:
+    """log2 size bucket: payloads in the same bucket are 'the same size'."""
+    # Deferred import: repro.parallel pulls in repro.core (halo exchange),
+    # whose drivers import this package — a module-level import would cycle.
+    from repro.parallel.comm import _nbytes
+
+    n = _nbytes(value)
+    return -1 if n <= 0 else int(math.log2(n))
+
+
+def _payload_sig(value: Any) -> str:
+    """Human-readable payload signature for congruence diagnostics."""
+    if value is None:
+        return "None"
+    if isinstance(value, np.ndarray):
+        return f"ndarray{tuple(value.shape)}:{value.dtype}"
+    return f"{type(value).__name__}(~2^{_nbytes_class(value)} B)"
+
+
+def _call_site() -> str:
+    """First stack frame outside this package — where the user called from.
+
+    Matched on the package *directory* (``.../sanitize/...``) so a user
+    file that merely mentions sanitize in its name is still reported.
+    """
+    for frame in reversed(traceback.extract_stack()):
+        if "/sanitize/" not in frame.filename.replace("\\", "/"):
+            return f"{frame.filename}:{frame.lineno} in {frame.name}"
+    return "<unknown>"
+
+
+# -- whole-communicator observer ----------------------------------------------
+
+
+@dataclass
+class ScheduleEntry:
+    """One collective as the attached sanitizer saw it."""
+
+    comm: str
+    kind: str
+    root: int | None
+    payload_classes: tuple[int, ...]
+    site: str
+
+
+class CollectiveScheduleSanitizer:
+    """Observer for :class:`VirtualComm` (``comm.sanitizer``).
+
+    ``record`` runs before the collective executes, so a diagnosis aborts
+    the bad operation instead of describing it post mortem.
+    """
+
+    def __init__(self) -> None:
+        self.ledger: list[ScheduleEntry] = []
+        self.checks = 0
+
+    def record(
+        self,
+        comm: VirtualComm,
+        kind: str,
+        root: int | None,
+        values: Sequence[Any] | None,
+    ) -> None:
+        self.checks += 1
+        site = _call_site()
+        classes: tuple[int, ...] = ()
+        if values is not None and kind != "alltoall":
+            classes = tuple(_nbytes_class(v) for v in values)
+        self.ledger.append(ScheduleEntry(comm.name, kind, root, classes, site))
+        if kind in _ROOTED and root is not None:
+            if not 0 <= root < comm.size:
+                raise CollectiveMismatchError(
+                    f"{kind} on comm {comm.name!r} at {site}: root={root} "
+                    f"is outside [0, {comm.size}) — Python indexing makes "
+                    f"a negative root 'work' silently, real MPI aborts"
+                )
+        if kind in _ELEMENTWISE and values is not None:
+            self._check_congruence(comm, kind, values, site)
+
+    def _check_congruence(
+        self,
+        comm: VirtualComm,
+        kind: str,
+        values: Sequence[Any],
+        site: str,
+    ) -> None:
+        sigs = [_payload_sig(v) for v in values]
+        counts: dict[str, int] = {}
+        for s in sigs:
+            counts[s] = counts.get(s, 0) + 1
+        if len(counts) <= 1:
+            return
+        majority = max(counts, key=lambda s: counts[s])
+        divergent = [r for r, s in enumerate(sigs) if s != majority]
+        detail = ", ".join(f"rank {r} holds {sigs[r]}" for r in divergent)
+        raise CollectiveMismatchError(
+            f"{kind} on comm {comm.name!r} at {site}: incongruent "
+            f"payloads — majority of ranks hold {majority} but {detail}; "
+            f"an elementwise collective over mismatched payloads "
+            f"broadcasts/crashes instead of reducing"
+        )
+
+
+# -- SPMD emulation (one thread per rank) -------------------------------------
+
+
+class _Session:
+    """Shared state for one :func:`run_spmd` call."""
+
+    def __init__(self, timeout: float) -> None:
+        self.timeout = timeout
+        self.cond = threading.Condition()
+        self.finished: set[int] = set()  # world ranks whose fn returned
+        self.failure: BaseException | None = None
+
+    def fail(self, exc: BaseException) -> None:
+        """First failure wins; wake every waiter (caller holds the lock)."""
+        if self.failure is None:
+            self.failure = exc
+        self.cond.notify_all()
+
+
+class SpmdAborted(SanitizerError):
+    """Secondary error raised in ranks unwound after another rank failed."""
+
+
+@dataclass
+class _Slot:
+    """One rendezvous: the Nth collective on a communicator."""
+
+    kind: str
+    root: int | None
+    nbytes_class: int | None
+    op: Callable[[Any, Any], Any] | None
+    values: dict[int, Any] = field(default_factory=dict)
+    sites: dict[int, str] = field(default_factory=dict)
+    results: dict[int, Any] | None = None
+    error: BaseException | None = None
+
+    def describe(self, comm: "_SpmdComm") -> str:
+        who = ", ".join(
+            f"rank {comm.world_ranks[r]} at {self.sites[r]}"
+            for r in sorted(self.values)
+        )
+        return f"{self.kind}(root={self.root}) entered by [{who}]"
+
+
+class _SpmdComm:
+    """Rendezvous state shared by all :class:`RankComm` proxies of a comm."""
+
+    def __init__(
+        self,
+        session: _Session,
+        size: int,
+        name: str = "world",
+        world_ranks: Sequence[int] | None = None,
+    ) -> None:
+        self.session = session
+        self.size = size
+        self.name = name
+        self.world_ranks = (
+            list(range(size)) if world_ranks is None else list(world_ranks)
+        )
+        self.slots: list[_Slot | None] = []
+        self.p2p: dict[tuple[int, int], deque] = {}
+
+    # All methods below are called with ``session.cond`` held.
+
+    def _signature_mismatch(
+        self, slot: _Slot, kind: str, root: int | None, nclass: int | None
+    ) -> bool:
+        if slot.kind != kind or slot.root != root:
+            return True
+        return (
+            slot.nbytes_class is not None
+            and nclass is not None
+            and slot.nbytes_class != nclass
+        )
+
+    def enter(
+        self,
+        rank: int,
+        seq: int,
+        kind: str,
+        value: Any,
+        root: int | None = None,
+        op: Callable[[Any, Any], Any] | None = None,
+    ) -> Any:
+        session = self.session
+        site = _call_site()
+        nclass = _nbytes_class(value) if kind in _ELEMENTWISE else None
+        with session.cond:
+            if session.failure is not None:
+                raise SpmdAborted(str(session.failure))
+            while len(self.slots) <= seq:
+                self.slots.append(None)
+            slot = self.slots[seq]
+            if slot is None:
+                slot = _Slot(kind=kind, root=root, nbytes_class=nclass, op=op)
+                self.slots[seq] = slot
+            elif self._signature_mismatch(slot, kind, root, nclass):
+                mine = (
+                    f"rank {self.world_ranks[rank]} entered "
+                    f"{kind}(root={root}, payload {_payload_sig(value)}) "
+                    f"at {site}"
+                )
+                exc = CollectiveMismatchError(
+                    f"collective schedule divergence on comm {self.name!r} "
+                    f"(operation #{seq}): {slot.describe(self)}; but {mine} "
+                    f"— every rank must enter the same collective, with "
+                    f"the same root and payload class, in the same order"
+                )
+                slot.error = exc
+                session.fail(exc)
+                raise exc
+            slot.values[rank] = value
+            slot.sites[rank] = site
+            if len(slot.values) == self.size:
+                try:
+                    slot.results = self._execute(slot)
+                except SanitizerError as exc:
+                    slot.error = exc
+                    session.fail(exc)
+                    raise
+                session.cond.notify_all()
+            else:
+                self._wait(slot, seq, rank)
+            if slot.error is not None:
+                raise slot.error
+            assert slot.results is not None
+            return slot.results[rank]
+
+    def _wait(self, slot: _Slot, seq: int, rank: int) -> None:
+        session = self.session
+        deadline = time.monotonic() + session.timeout
+        while (
+            slot.results is None
+            and slot.error is None
+            and session.failure is None
+        ):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                missing = [
+                    self.world_ranks[r]
+                    for r in range(self.size)
+                    if r not in slot.values
+                ]
+                gone = [r for r in missing if r in session.finished]
+                gone_s = (
+                    f" (rank(s) {gone} already returned without entering)"
+                    if gone
+                    else ""
+                )
+                exc = DeadlockError(
+                    f"deadlock on comm {self.name!r} (operation #{seq}): "
+                    f"{slot.describe(self)} and waited {session.timeout:g}s "
+                    f"for rank(s) {missing}{gone_s} — a rank-conditional "
+                    f"path skipped this collective"
+                )
+                slot.error = exc
+                session.fail(exc)
+                raise exc
+            session.cond.wait(remaining)
+        if session.failure is not None and slot.results is None:
+            if slot.error is not None:
+                raise slot.error
+            raise SpmdAborted(str(session.failure))
+
+    def _execute(self, slot: _Slot) -> dict[int, Any]:
+        """All ranks arrived: run the collective's data movement."""
+        kind = slot.kind
+        vals = [slot.values[r] for r in range(self.size)]
+        if kind == "barrier":
+            return {r: None for r in range(self.size)}
+        if kind == "bcast":
+            assert slot.root is not None
+            return {r: vals[slot.root] for r in range(self.size)}
+        if kind in ("reduce", "allreduce"):
+            self._execute_congruence(slot, vals)
+            op = slot.op if slot.op is not None else np.add
+            acc = vals[0]
+            for v in vals[1:]:
+                acc = op(acc, v)
+            if kind == "reduce":
+                return {
+                    r: (acc if r == slot.root else None)
+                    for r in range(self.size)
+                }
+            return {r: acc for r in range(self.size)}
+        if kind == "gather":
+            return {
+                r: (list(vals) if r == slot.root else None)
+                for r in range(self.size)
+            }
+        if kind == "allgather":
+            return {r: list(vals) for r in range(self.size)}
+        if kind == "scatter":
+            assert slot.root is not None
+            chunks = vals[slot.root]
+            if len(chunks) != self.size:
+                raise CollectiveMismatchError(
+                    f"scatter on comm {self.name!r}: root rank "
+                    f"{self.world_ranks[slot.root]} provided "
+                    f"{len(chunks)} chunk(s) for {self.size} rank(s) "
+                    f"at {slot.sites[slot.root]}"
+                )
+            return {r: chunks[r] for r in range(self.size)}
+        if kind == "alltoall":
+            return {
+                r: [vals[src][r] for src in range(self.size)]
+                for r in range(self.size)
+            }
+        if kind == "split":
+            return self._execute_split(vals)
+        raise SanitizerError(f"unknown collective {kind!r}")
+
+    def _execute_congruence(self, slot: _Slot, vals: list[Any]) -> None:
+        sigs = [_payload_sig(v) for v in vals]
+        if len(set(sigs)) <= 1:
+            return
+        counts: dict[str, int] = {}
+        for s in sigs:
+            counts[s] = counts.get(s, 0) + 1
+        majority = max(counts, key=lambda s: counts[s])
+        detail = ", ".join(
+            f"rank {self.world_ranks[r]} holds {sigs[r]} "
+            f"(at {slot.sites[r]})"
+            for r in range(self.size)
+            if sigs[r] != majority
+        )
+        raise CollectiveMismatchError(
+            f"{slot.kind} on comm {self.name!r}: incongruent payloads — "
+            f"majority of ranks hold {majority} but {detail}"
+        )
+
+    def _execute_split(self, colors: list[Any]) -> dict[int, Any]:
+        groups: dict[Any, list[int]] = {}
+        for r, color in enumerate(colors):
+            groups.setdefault(color, []).append(r)
+        comms: dict[Any, _SpmdComm] = {}
+        for color, members in groups.items():
+            comms[color] = _SpmdComm(
+                self.session,
+                len(members),
+                name=f"{self.name}/color{color}",
+                world_ranks=[self.world_ranks[m] for m in members],
+            )
+        return {
+            r: (comms[colors[r]], groups[colors[r]].index(r))
+            for r in range(self.size)
+        }
+
+    # -- point-to-point ------------------------------------------------------
+
+    def send(self, src: int, dst: int, value: Any) -> None:
+        session = self.session
+        with session.cond:
+            if session.failure is not None:
+                raise SpmdAborted(str(session.failure))
+            if not 0 <= dst < self.size:
+                exc = CollectiveMismatchError(
+                    f"send on comm {self.name!r} at {_call_site()}: "
+                    f"dst={dst} is outside [0, {self.size})"
+                )
+                session.fail(exc)
+                raise exc
+            self.p2p.setdefault((src, dst), deque()).append(value)
+            session.cond.notify_all()
+
+    def recv(self, dst: int, src: int) -> Any:
+        session = self.session
+        site = _call_site()
+        deadline = time.monotonic() + session.timeout
+        with session.cond:
+            queue = self.p2p.setdefault((src, dst), deque())
+            while not queue:
+                if session.failure is not None:
+                    raise SpmdAborted(str(session.failure))
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    gone = (
+                        " (that rank already returned)"
+                        if self.world_ranks[src] in session.finished
+                        else ""
+                    )
+                    exc = DeadlockError(
+                        f"deadlock on comm {self.name!r}: rank "
+                        f"{self.world_ranks[dst]} at {site} waited "
+                        f"{session.timeout:g}s for a send from rank "
+                        f"{self.world_ranks[src]}{gone} — unmatched "
+                        f"point-to-point pair"
+                    )
+                    session.fail(exc)
+                    raise exc
+                session.cond.wait(remaining)
+            return queue.popleft()
+
+
+class RankComm:
+    """Per-rank communicator proxy for :func:`run_spmd` SPMD code.
+
+    Unlike :class:`VirtualComm` (whole-communicator value lists), each
+    method takes *this rank's* value and returns *this rank's* result —
+    i.e. the real MPI calling convention.
+    """
+
+    def __init__(self, state: _SpmdComm, rank: int) -> None:
+        self._state = state
+        self.rank = rank
+        self.size = state.size
+        self.name = state.name
+        self._seq = 0
+
+    def _next(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def barrier(self) -> None:
+        self._state.enter(self.rank, self._next(), "barrier", None)
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        return self._state.enter(
+            self.rank, self._next(), "bcast", value, root=root
+        )
+
+    def reduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] = np.add,
+        root: int = 0,
+    ) -> Any:
+        return self._state.enter(
+            self.rank, self._next(), "reduce", value, root=root, op=op
+        )
+
+    def allreduce(
+        self, value: Any, op: Callable[[Any, Any], Any] = np.add
+    ) -> Any:
+        return self._state.enter(
+            self.rank, self._next(), "allreduce", value, op=op
+        )
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        return self._state.enter(
+            self.rank, self._next(), "gather", value, root=root
+        )
+
+    def allgather(self, value: Any) -> list[Any]:
+        return self._state.enter(self.rank, self._next(), "allgather", value)
+
+    def scatter(self, chunks: Sequence[Any] | None, root: int = 0) -> Any:
+        return self._state.enter(
+            self.rank, self._next(), "scatter", chunks, root=root
+        )
+
+    def alltoall(self, row: Sequence[Any]) -> list[Any]:
+        return self._state.enter(
+            self.rank, self._next(), "alltoall", list(row)
+        )
+
+    def split(self, color: Any, key: int | None = None) -> "RankComm":
+        state, local_rank = self._state.enter(
+            self.rank, self._next(), "split", color
+        )
+        return RankComm(state, local_rank)
+
+    def send(self, dst: int, value: Any) -> None:
+        self._state.send(self.rank, dst, value)
+
+    def recv(self, src: int) -> Any:
+        return self._state.recv(self.rank, src)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RankComm(name={self.name!r}, rank={self.rank}/{self.size})"
+
+
+def run_spmd(
+    fn: Callable[[RankComm, int], Any],
+    size: int,
+    timeout: float = 5.0,
+) -> list[Any]:
+    """Run ``fn(comm, rank)`` on one thread per rank under the sanitizer.
+
+    Returns the per-rank results.  A collective-schedule divergence raises
+    :class:`CollectiveMismatchError`; a rank that never reaches a
+    collective the others entered turns the hang into a
+    :class:`DeadlockError` after ``timeout`` seconds.  The *primary*
+    diagnosis is re-raised in the calling thread (ranks unwound as
+    collateral raise :class:`SpmdAborted`, which is suppressed).
+    """
+    if size < 1:
+        raise ValueError("run_spmd needs at least one rank")
+    session = _Session(timeout)
+    state = _SpmdComm(session, size)
+    results: list[Any] = [None] * size
+    errors: list[BaseException | None] = [None] * size
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = fn(RankComm(state, rank), rank)
+        except BaseException as exc:  # noqa - re-raised in the caller
+            errors[rank] = exc
+            with session.cond:
+                session.fail(exc)
+        finally:
+            with session.cond:
+                session.finished.add(rank)
+                session.cond.notify_all()
+
+    threads = [
+        threading.Thread(
+            target=runner, args=(r,), name=f"spmd-rank-{r}", daemon=True
+        )
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if session.failure is not None:
+        primary = session.failure
+        for exc in errors:
+            if exc is not None and not isinstance(exc, SpmdAborted):
+                primary = exc
+                break
+        raise primary
+    return results

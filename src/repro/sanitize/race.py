@@ -1,0 +1,112 @@
+"""Write-versioning race detector for the ``ldc_workers`` thread fan-out.
+
+The LDC thread pool's correctness contract (DESIGN.md §11) is *post-join
+discipline*: workers read shared buffers (density, potentials,
+:class:`~repro.core.workspace.LDCWorkspace` state) but only the
+coordinating thread writes them, after the join.  RP007 enforces the
+pattern statically; this module enforces it at runtime, two ways:
+
+* :meth:`RaceSanitizer.guard_readonly` — a ``with`` block protecting named
+  arrays over a fan-out region.  On entry each buffer's ``writeable`` flag
+  is dropped (an in-place write then raises *at the write site*, the best
+  possible diagnostic) and a sampled content fingerprint is taken; on exit
+  flags are restored and fingerprints re-verified, so writes through
+  pre-existing views — which bypass the flag — are still caught and named.
+* :meth:`RaceSanitizer.exclusive` — an ownership claim on a logical
+  resource (e.g. one DC domain's eigenstates).  Two live claims on the
+  same key is a race, diagnosed with both owners and thread names.
+
+Everything raises :class:`RaceError` with the buffer/claim name — never a
+corrupted density three SCF steps later.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.sanitize.collective import SanitizerError
+
+
+class RaceError(SanitizerError):
+    """A shared buffer changed under a fan-out, or an ownership collision."""
+
+
+#: Cap on bytes fingerprinted per buffer (sampled stride keeps cost flat).
+_FINGERPRINT_SAMPLE = 4096
+
+
+def _fingerprint(arr: np.ndarray) -> str:
+    """Order-stable sampled digest of an array's contents."""
+    flat = arr.reshape(-1)
+    stride = max(1, flat.size // _FINGERPRINT_SAMPLE)
+    sample = np.ascontiguousarray(flat[::stride])
+    digest = hashlib.blake2b(sample.view(np.uint8), digest_size=16)
+    digest.update(str((arr.shape, arr.dtype)).encode())
+    return digest.hexdigest()
+
+
+class RaceSanitizer:
+    """Runtime enforcement of the post-join write discipline."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._claims: dict[object, tuple[str, str]] = {}
+        self.checks = 0
+        self.guarded = 0
+
+    @contextmanager
+    def guard_readonly(self, buffers: Mapping[str, np.ndarray]) -> Iterator[None]:
+        """Freeze ``buffers`` for the duration of a worker fan-out."""
+        frozen: list[tuple[str, np.ndarray, bool]] = []
+        prints: dict[str, str] = {}
+        for name, arr in buffers.items():
+            self.guarded += 1
+            prints[name] = _fingerprint(arr)
+            frozen.append((name, arr, bool(arr.flags.writeable)))
+            try:
+                arr.flags.writeable = False
+            except ValueError:  # pragma: no cover - non-owning view
+                pass  # fingerprint still catches writes through the base
+        try:
+            yield
+        finally:
+            for name, arr, was_writeable in frozen:
+                try:
+                    arr.flags.writeable = was_writeable
+                except ValueError:  # pragma: no cover - non-owning view
+                    pass
+            for name, arr, _ in frozen:
+                self.checks += 1
+                if _fingerprint(arr) != prints[name]:
+                    raise RaceError(
+                        f"shared buffer {name!r} changed during a "
+                        f"guarded worker fan-out — a worker wrote state "
+                        f"it does not own; fold results on the "
+                        f"coordinating thread after the join"
+                    )
+
+    @contextmanager
+    def exclusive(self, key: object, owner: str) -> Iterator[None]:
+        """Claim exclusive ownership of ``key`` (e.g. one DC domain)."""
+        me = threading.current_thread().name
+        with self._lock:
+            self.checks += 1
+            holder = self._claims.get(key)
+            if holder is not None:
+                raise RaceError(
+                    f"concurrent ownership of {key!r}: {owner!r} (thread "
+                    f"{me!r}) claimed it while {holder[0]!r} (thread "
+                    f"{holder[1]!r}) still holds it — two workers are "
+                    f"processing the same unit of work"
+                )
+            self._claims[key] = (owner, me)
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._claims.pop(key, None)

@@ -1,0 +1,64 @@
+"""Fixture: cross-function rank-conditional collective (RP005 interprocedural).
+
+The collective is hidden inside helpers — a per-function analysis sees a
+rank-conditional with two plain calls and finds nothing; the
+interprocedural pass resolves ``do_sum`` → ``comm.allreduce`` and flags it.
+"""
+
+import numpy as np
+
+
+def do_sum(comm, values):
+    """Helper: every rank must enter this allreduce."""
+    return comm.allreduce(values, op="sum")
+
+
+def log_locally(values):
+    """Helper with no collectives — safe on any subset of ranks."""
+    return float(np.max(values))
+
+
+def reduce_energy(comm, rank, values):
+    """Only rank 0 reaches the allreduce (via do_sum) — classic SPMD hang."""
+    if rank == 0:
+        total = do_sum(comm, values)
+    else:
+        total = log_locally(values)
+    return total
+
+
+def deep_reduce(comm, values):
+    """Second level of indirection: root -> do_sum -> allreduce."""
+    return do_sum(comm, values)
+
+
+def reduce_energy_deep(comm, rank, values):
+    """Collective two helpers down on one side of a rank-conditional."""
+    if rank == 0:
+        return deep_reduce(comm, values)
+    return log_locally(values)
+
+
+def send_half(comm, payload):
+    """Lone send — fine as a helper when the caller pairs it."""
+    comm.send(1, payload)
+
+
+def recv_half(comm):
+    """Lone recv — the matching half."""
+    return comm.recv(0)
+
+
+def paired_exchange(comm, rank, payload):
+    """Balanced over the call tree: no finding expected here."""
+    if rank == 0:
+        send_half(comm, payload)
+        return None
+    return recv_half(comm)
+
+
+def unbalanced_root(comm, payload):
+    """Root with 2 sends vs 1 recv over its call tree — flagged."""
+    send_half(comm, payload)
+    send_half(comm, payload)
+    return recv_half(comm)

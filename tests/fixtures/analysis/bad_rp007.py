@@ -1,0 +1,37 @@
+"""Fixture: thread-pool workers writing shared state (RP007)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+rho_accum = np.zeros((8, 8, 8))
+call_count = 0
+
+
+def process_domain(item):
+    """Worker mutating closed-over/module state — three races."""
+    global call_count
+    idom, rho_a = item
+    rho_accum[idom] += rho_a          # shared element write
+    call_count += 1                   # shared name write (global)
+    results.append(idom)              # mutating method on shared list
+    return float(rho_a.sum())
+
+
+def process_domain_clean(item):
+    """Worker touching only its own item — no findings."""
+    idom, rho_a = item
+    local = rho_a * 2.0
+    return idom, float(local.sum())
+
+
+results = []
+
+
+def run_pass(domains):
+    with ThreadPoolExecutor(max_workers=4) as executor:
+        energies = list(executor.map(process_domain, domains))
+        clean = list(executor.map(process_domain_clean, domains))
+    # post-join folding on the coordinating thread is the sanctioned pattern
+    results.extend(clean)
+    return sum(energies)

@@ -1,0 +1,48 @@
+"""Fixture: SPMD nondeterminism hazards (RP008)."""
+
+import random
+
+import numpy as np
+
+
+def sum_over_set(active_domains, energies):
+    """Accumulation over unordered iteration — order-dependent float sum."""
+    total = 0.0
+    for idom in set(active_domains):
+        total += energies[idom]
+    return total
+
+
+def reduce_set_direct(values):
+    """Reduction straight off a set literal."""
+    return sum({values[0], values[1], values[2]})
+
+
+def sorted_is_fine(active_domains, energies):
+    """Sorted iteration — deterministic, no finding."""
+    total = 0.0
+    for idom in sorted(set(active_domains)):
+        total += energies[idom]
+    return total
+
+
+def unseeded_generator():
+    """default_rng() with no seed — per-process entropy."""
+    rng = np.random.default_rng()
+    return rng.standard_normal(4)
+
+
+def seeded_generator():
+    """Seeded — reproducible, no finding."""
+    rng = np.random.default_rng(42)
+    return rng.standard_normal(4)
+
+
+def legacy_global_rng(n):
+    """Module-global numpy RNG — draw order depends on interleaving."""
+    return np.random.rand(n)
+
+
+def stdlib_rng():
+    """Process-global stdlib RNG."""
+    return random.random()

@@ -19,9 +19,12 @@ REPO = pathlib.Path(__file__).resolve().parents[1]
 SRC = REPO / "src" / "repro"
 
 
-def test_all_six_rules_registered():
+def test_all_rules_registered():
     rules = {c.rule for c in all_checkers()}
-    assert {"RP001", "RP002", "RP003", "RP004", "RP005", "RP006"} <= rules
+    assert {
+        "RP001", "RP002", "RP003", "RP004",
+        "RP005", "RP006", "RP007", "RP008",
+    } <= rules
 
 
 def test_source_tree_is_clean():
