@@ -301,6 +301,28 @@ SCHEMAS: dict[str, RecordSchema] = {
             "t_warm_s": _TIMING,
         },
     ),
+    "domain_batching": _metric_schema(
+        "domain_batching",
+        {
+            # the headline claim: shape-class batching must keep winning
+            # wall-clock; host noise gets a band, regressions below 1x gate
+            "speedup": {"direction": "higher", "rel_tol": 0.0,
+                        "abs_tol": 0.15},
+            # both arms solve the same physics ...
+            "max_energy_dev_ha": {"direction": "lower", "rel_tol": 0.0,
+                                  "abs_tol": 1e-10},
+            # ... in the same (deterministic, seeded) iteration counts
+            "perdomain_eig_iters": {"direction": "lower", "rel_tol": 0.1},
+            "batched_eig_iters": {"direction": "lower", "rel_tol": 0.1},
+            "n_shape_classes": _EXACT,
+            # deterministic span-attributed FLOPs (perfmodel estimate)
+            "batched_solve_gflop": _MODEL,
+            # warm passes must never allocate in the scratch pool
+            "warm_pool_allocations": _EXACT,
+            "t_perdomain_s": _TIMING,
+            "t_batched_s": _TIMING,
+        },
+    ),
     # -- communication observatory --------------------------------------------
     "comm_observatory": RecordSchema(
         bench="comm_observatory",

@@ -1,0 +1,122 @@
+"""RP009 — direct numpy calls inside backend-routed modules.
+
+Modules that import :mod:`repro.backend` have opted into the pluggable
+array-module contract: every array operation must go through the namespace
+``backend.get()`` returns (``xp``), so that swapping in CuPy/torch touches
+configuration, not code.  A stray ``np.matmul(...)`` in such a module works
+silently under the NumPy backend, then crashes — or worse, bounces arrays
+through host memory — the day a device backend is selected.  The checker
+flags *calls* into a runtime-imported numpy namespace and runtime
+``from numpy import ...`` statements; bare attribute reads (``np.pi``,
+``np.float64``) and ``if TYPE_CHECKING:`` imports used for annotations
+stay legal.
+
+``repro/backend`` itself is exempt — it is the shim's implementation and
+must touch numpy to register it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Checker, FileContext, Finding, register
+
+
+def _type_checking_nodes(tree: ast.Module) -> set[ast.AST]:
+    """All statements nested under an ``if TYPE_CHECKING:`` guard."""
+    guarded: set[ast.AST] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        name = (
+            test.id if isinstance(test, ast.Name)
+            else test.attr if isinstance(test, ast.Attribute)
+            else None
+        )
+        if name == "TYPE_CHECKING":
+            for child in node.body:
+                guarded.update(ast.walk(child))
+    return guarded
+
+
+def _numpy_aliases(tree: ast.Module, guarded: set[ast.AST]) -> set[str]:
+    """Names bound to the numpy module by runtime imports."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if node in guarded or not isinstance(node, ast.Import):
+            continue
+        for alias in node.names:
+            if alias.name == "numpy" or alias.name.startswith("numpy."):
+                aliases.add((alias.asname or alias.name).split(".")[0])
+    return aliases
+
+
+def _imports_backend(tree: ast.Module, guarded: set[ast.AST]) -> bool:
+    for node in ast.walk(tree):
+        if node in guarded:
+            continue
+        if isinstance(node, ast.Import):
+            if any(a.name.startswith("repro.backend") for a in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if mod.startswith("repro.backend"):
+                return True
+            if mod == "repro" and any(
+                a.name == "backend" for a in node.names
+            ):
+                return True
+    return False
+
+
+def _root_name(expr: ast.expr) -> str | None:
+    """The leftmost name of a dotted attribute chain (``np`` in
+    ``np.linalg.eigh``)."""
+    while isinstance(expr, ast.Attribute):
+        expr = expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+@register
+class BackendNeutralityChecker(Checker):
+    rule = "RP009"
+    name = "backend-neutrality"
+    description = (
+        "direct numpy call in a module that imports repro.backend; route "
+        "it through the backend namespace (xp = backend.get())"
+    )
+    exempt_paths = ("repro/backend/", "analysis/checkers/backend.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        guarded = _type_checking_nodes(ctx.tree)
+        if not _imports_backend(ctx.tree, guarded):
+            return
+        aliases = _numpy_aliases(ctx.tree, guarded)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node not in guarded:
+                mod = node.module or ""
+                if mod == "numpy" or mod.startswith("numpy."):
+                    yield ctx.finding(
+                        node, self.rule,
+                        f"runtime 'from {mod} import ...' in a "
+                        "backend-routed module; use the repro.backend "
+                        "namespace (xp = backend.get()) instead",
+                    )
+                continue
+            if not isinstance(node, ast.Call) or not aliases:
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            root = _root_name(func)
+            if root in aliases:
+                dotted = ast.unparse(func)
+                yield ctx.finding(
+                    node, self.rule,
+                    f"direct numpy call '{dotted}(...)' in a "
+                    "backend-routed module; route it through "
+                    "xp = repro.backend.get() so device backends "
+                    "can substitute",
+                )

@@ -29,6 +29,7 @@ def boundary_potential(
     rho_global_restricted: np.ndarray,
     xi: float | None = PAPER_XI,
     clip: float = 2.0,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """The density-adaptive boundary potential on a domain grid.
 
@@ -44,11 +45,22 @@ def boundary_potential(
     clip:
         Safety bound (Hartree) on |v_bc|, guarding the first few unconverged
         iterations against overshooting.
+    out:
+        Optional destination array, written in place and returned — lets the
+        LDC hot path reuse a per-domain scratch buffer instead of allocating
+        every SCF pass.  Same values either way.
     """
     if xi is None or rho_domain_prev is None:
+        if out is not None:
+            out[...] = 0.0
+            return out
         return np.zeros_like(rho_global_restricted)
     if xi <= 0:
         raise ValueError("xi must be positive")
+    if out is not None:
+        np.subtract(rho_domain_prev, rho_global_restricted, out=out)
+        out /= xi
+        return np.clip(out, -clip, clip, out=out)
     v = (rho_domain_prev - rho_global_restricted) / xi
     return np.clip(v, -clip, clip)
 

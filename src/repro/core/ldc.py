@@ -62,7 +62,7 @@ from repro.sanitize import ENV_SANITIZERS, Sanitizers
 from repro.systems.configuration import Configuration
 
 if TYPE_CHECKING:
-    from repro.core.workspace import LDCWorkspace
+    from repro.core.workspace import DomainScratch, LDCWorkspace
     from repro.observability.instrumentation import Instrumentation
 
 
@@ -111,10 +111,26 @@ class LDCOptions:
     #: identical either way — domains are independent and results are
     #: folded in domain-index order (parity-tested).
     ldc_workers: int = 1
+    #: batch same-shape domain solves into stacked shape-class kernels
+    #: (:mod:`repro.core.batched`): domains sharing (grid shape, npw,
+    #: nband, nproj) solve as one stacked LOBPCG through the
+    #: :mod:`repro.backend` array namespace.  ``None`` (default) defers to
+    #: ``$REPRO_BATCH_DOMAINS``; requires ``eigensolver="all_band"``
+    #: (env-resolved requests fall back silently for other solvers, an
+    #: explicit ``True`` raises).  Results match the per-domain path to
+    #: ≤1e-10 (parity-tested); when batching is active ``ldc_workers`` is
+    #: ignored for the solve stage.
+    batch_domains: bool | None = None
 
     def __post_init__(self) -> None:
         if int(self.ldc_workers) != self.ldc_workers or self.ldc_workers < 1:
             raise ValueError("ldc_workers must be an integer >= 1")
+        if self.batch_domains and self.eigensolver != "all_band":
+            raise ValueError(
+                "batch_domains=True requires eigensolver='all_band' "
+                f"(got {self.eigensolver!r}); leave batch_domains unset to "
+                "fall back automatically"
+            )
         if self.mode not in ("ldc", "dc"):
             raise ValueError(f"mode must be 'ldc' or 'dc', got {self.mode!r}")
         if self.poisson not in ("fft", "multigrid"):
@@ -148,6 +164,9 @@ class DomainState:
     #: per-band |ψ|² fields stashed between the solve and density steps of
     #: one SCF pass (cleared after assembly to release the memory)
     band_densities: np.ndarray | None = None
+    #: reusable per-domain work buffers (attached by ``LDCWorkspace``;
+    #: ``None`` → the pass allocates as before)
+    scratch: DomainScratch | None = None
 
 
 @dataclass
@@ -272,6 +291,109 @@ def _solve_domain(
     return res
 
 
+def _domain_effective_potential(
+    state: DomainState,
+    rho: np.ndarray,
+    v_hxc_global: np.ndarray,
+    v_ks_global: np.ndarray,
+    xi: float | None,
+    opts: LDCOptions,
+    out: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Restrict the global fields to the domain and update its v_bc.
+
+    Returns ``(v_eff_domain, rho_restricted)`` — the effective potential
+    the domain eigenproblem sees (including the damped boundary potential)
+    and the restricted global density (needed again for the boundary-error
+    diagnostic).  ``state.vbc`` is updated in place as a side effect.
+
+    With ``state.scratch`` attached (workspace runs) every intermediate —
+    the two gathered fields, the v_bc target, the buffer window — lives in
+    the domain's reusable pool, so a steady-state pass allocates nothing
+    here; the arithmetic (and hence the result, bit for bit) is the same as
+    the allocating path.  ``out``, when given, receives ``v_eff_domain``
+    in place — the batched coordinator passes a slice of its stacked
+    potential block.
+    """
+    dom = state.domain
+    scratch = state.scratch
+    if scratch is not None:
+        shape = dom.grid.shape
+        flat = scratch.flat_indices(dom, rho.shape)
+        v_dom = out if out is not None else scratch.get("v_dom", shape)
+        if state.v_ion_local is not None:
+            np.take(v_hxc_global.ravel(), flat, out=v_dom)
+            v_dom += state.v_ion_local
+        else:
+            np.take(v_ks_global.ravel(), flat, out=v_dom)
+        rho_restricted = scratch.get("rho_restricted", shape)
+        np.take(rho.ravel(), flat, out=rho_restricted)
+        vbc_target = boundary_potential(
+            state.rho_local, rho_restricted, xi,
+            out=scratch.get("vbc_target", shape),
+        )
+        if opts.vbc_region == "buffer":
+            # act only near the artificial boundary, not inside the core
+            window = scratch.get("boundary_window", shape)
+            np.subtract(1.0, state.support, out=window)
+            vbc_target *= window
+        if state.vbc is None:
+            state.vbc = opts.vbc_damping * vbc_target  # owned, not scratch
+        else:
+            # same values as (1-d)·vbc + d·target, without the temporaries
+            state.vbc *= 1.0 - opts.vbc_damping
+            vbc_target *= opts.vbc_damping
+            state.vbc += vbc_target
+        v_dom += state.vbc
+        return v_dom, rho_restricted
+    if state.v_ion_local is not None:
+        v_dom = dom.extract(v_hxc_global) + state.v_ion_local
+    else:
+        v_dom = dom.extract(v_ks_global)
+    rho_restricted = dom.extract(rho)
+    vbc_target = boundary_potential(state.rho_local, rho_restricted, xi)
+    if opts.vbc_region == "buffer":
+        # act only near the artificial boundary, not inside the core
+        vbc_target = vbc_target * (1.0 - state.support)
+    if state.vbc is None:
+        state.vbc = opts.vbc_damping * vbc_target
+    else:
+        state.vbc = (
+            1.0 - opts.vbc_damping
+        ) * state.vbc + opts.vbc_damping * vbc_target
+    if out is not None:
+        np.add(v_dom, state.vbc, out=out)
+        return out, rho_restricted
+    return v_dom + state.vbc, rho_restricted
+
+
+def _stage_band_data(
+    state: DomainState, res: EigenResult, rho_restricted: np.ndarray
+) -> float | None:
+    """Stage band densities/weights on the state after a domain solve and
+    return the boundary-density error (None on the first pass)."""
+    dom = state.domain
+    assert res.fields is not None
+    if state.scratch is not None:
+        densities = state.scratch.get(
+            "band_densities", (state.nband,) + dom.grid.shape
+        )
+        # |ψ|² without the two per-pass temporaries of np.abs(...)**2;
+        # ndarray ** 2 is np.power, so the values are identical
+        np.absolute(res.fields, out=densities)
+        np.power(densities, 2, out=densities)
+    else:
+        densities = np.abs(res.fields) ** 2  # per-band |ψ|²(r), reused fields
+    # band weights w_αn = ∫ p_α |ψ_n|² dr
+    w = np.einsum("nijk,ijk->n", densities, state.support) * dom.grid.dv
+    state.band_weights = w
+    state.band_densities = densities  # stashed for the density step
+    err: float | None = None
+    if state.rho_local is not None:
+        err = boundary_error_norm(state.rho_local, rho_restricted, dom.grid.dv)
+    return err
+
+
 def _domain_pass(
     state: DomainState,
     rho: np.ndarray,
@@ -288,33 +410,14 @@ def _domain_pass(
     thread the caller passes ``ins=None`` — counters/series on the shared
     instrumentation are not thread-safe, so the coordinating thread records
     solve telemetry after the join (see ``record_solve``).  Each invocation
-    touches only its own ``state`` plus read-only global fields.
+    touches only its own ``state`` (including its private scratch pool)
+    plus read-only global fields.
     """
-    dom = state.domain
-    if state.v_ion_local is not None:
-        v_dom = dom.extract(v_hxc_global) + state.v_ion_local
-    else:
-        v_dom = dom.extract(v_ks_global)
-    rho_restricted = dom.extract(rho)
-    vbc_target = boundary_potential(state.rho_local, rho_restricted, xi)
-    if opts.vbc_region == "buffer":
-        # act only near the artificial boundary, not inside the core
-        vbc_target = vbc_target * (1.0 - state.support)
-    if state.vbc is None:
-        state.vbc = opts.vbc_damping * vbc_target
-    else:
-        state.vbc = (
-            1.0 - opts.vbc_damping
-        ) * state.vbc + opts.vbc_damping * vbc_target
-    res = _solve_domain(state, v_dom + state.vbc, opts, ins)
-    densities = np.abs(res.fields) ** 2  # per-band |ψ|²(r), reused fields
-    # band weights w_αn = ∫ p_α |ψ_n|² dr
-    w = np.einsum("nijk,ijk->n", densities, state.support) * dom.grid.dv
-    state.band_weights = w
-    state.band_densities = densities  # stashed for the density step
-    err: float | None = None
-    if state.rho_local is not None:
-        err = boundary_error_norm(state.rho_local, rho_restricted, dom.grid.dv)
+    v_eff, rho_restricted = _domain_effective_potential(
+        state, rho, v_hxc_global, v_ks_global, xi, opts
+    )
+    res = _solve_domain(state, v_eff, opts, ins)
+    err = _stage_band_data(state, res, rho_restricted)
     return res, err
 
 
@@ -478,13 +581,21 @@ def _run_ldc(
         if opts.ldc_workers > 1
         else None
     )
+    # The batched coordinator's stack pool: persistent across MD steps with
+    # a workspace, per-run otherwise — either way no per-pass allocations.
+    if workspace is not None:
+        batch_pool = workspace.batch_pool
+    else:
+        from repro.core.workspace import DomainScratch as _DomainScratch
+
+        batch_pool = _DomainScratch()
     try:
         for it in range(1, opts.max_iter + 1):
             if ins is not None:
                 t_iter = ins.tracer.now()
             mu, rho_out, components, bnd_err, vh_prev = _scf_pass(
                 grid, states, rho, v_loc_global, e_ewald, n_electrons,
-                xi, mg, vh_prev, opts, ins, executor, san,
+                xi, mg, vh_prev, opts, ins, executor, san, batch_pool,
             )  # vh_prev is reused as the next iteration's Poisson warm start
             if san is not None and san.numerics is not None:
                 san.numerics.check(
@@ -536,7 +647,7 @@ def _run_ldc(
         # Final consistent evaluation at the converged density.
         mu, rho_final, components, bnd_err, _ = _scf_pass(
             grid, states, rho, v_loc_global, e_ewald, n_electrons,
-            xi, mg, vh_prev, opts, ins, executor, san,
+            xi, mg, vh_prev, opts, ins, executor, san, batch_pool,
         )
     finally:
         if executor is not None:
@@ -592,12 +703,18 @@ def _scf_pass(
     ins: Instrumentation | None = None,
     executor: ThreadPoolExecutor | None = None,
     san: Sanitizers | None = None,
+    batch_pool: DomainScratch | None = None,
 ) -> tuple[float, np.ndarray, dict[str, float], float, np.ndarray]:
     """One global-local pass: potentials → domain solves → μ → density.
 
     The per-domain solves are independent; with ``executor`` set they fan
     out across threads and the results are folded back in domain-index
-    order, so the assembled physics is identical to the serial path.  With
+    order, so the assembled physics is identical to the serial path.  When
+    domain batching is enabled (``opts.batch_domains`` /
+    ``$REPRO_BATCH_DOMAINS``, with the all-band solver) the solves instead
+    run as stacked shape-class kernels on the coordinating thread — see
+    :func:`repro.core.batched.batched_domain_pass` — again folded in
+    domain-index order with results matching the per-domain path.  With
     ``san`` set, the race sanitizer freezes the shared input fields over
     the fan-out (workers own only their domain) and the numerics sanitizer
     checks the potential/eigenvalue checkpoints.
@@ -623,7 +740,20 @@ def _scf_pass(
 
     active = [(idom, s) for idom, s in enumerate(states) if s.nband > 0]
     outcomes: list[tuple[EigenResult, float | None, float | None]]
-    if executor is not None and len(active) > 1:
+    # Imported here, not at module top: repro.core.batched imports this
+    # module for the shared per-domain prework/postwork helpers.
+    from repro.core.batched import batched_domain_pass, batching_enabled
+
+    if active and batching_enabled(opts):
+        # Stacked shape-class solves on the coordinating thread; outcomes
+        # carry dt=None so the fold below does not double-record telemetry
+        # (the batched pass emits its own ldc.batched_solve spans and the
+        # per-domain eigensolver counters).
+        outcomes = batched_domain_pass(
+            active, rho, v_hxc_global, v_ks_global, xi, opts, ins,
+            pool=batch_pool,
+        )
+    elif executor is not None and len(active) > 1:
 
         def _run_one(
             item: tuple[int, DomainState],

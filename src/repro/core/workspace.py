@@ -35,11 +35,11 @@ trajectories get the reuse for free.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Hashable
 
 import numpy as np
 
-from repro.core.domains import DomainDecomposition
+from repro.core.domains import Domain, DomainDecomposition
 from repro.core.support import supports
 from repro.dft.basis import PlaneWaveBasis
 from repro.dft.ewald import EwaldStructure
@@ -49,6 +49,60 @@ from repro.systems.configuration import Configuration
 
 if TYPE_CHECKING:
     from repro.core.ldc import DomainState, LDCOptions
+
+
+class DomainScratch:
+    """A named pool of reusable work arrays for one LDC hot-path consumer.
+
+    ``get(name, shape, dtype)`` returns the cached buffer when shape and
+    dtype still match, else (re)allocates — so a steady-state SCF pass
+    performs **zero** buffer allocations (the invariant the domain-batching
+    benchmark pins with its tracemalloc check).  :attr:`allocations` counts
+    every real allocation for exactly that assertion.
+
+    One instance serves one single-threaded consumer: either one domain
+    (attached to its :class:`~repro.core.ldc.DomainState`, used only by
+    whichever worker owns that domain during a pass) or the batched
+    coordinator's stack pool.  Buffer contents are undefined between uses —
+    every consumer overwrites before reading (``np.take(..., out=)`` /
+    full-array ufunc ``out=`` writes), which is why ``np.empty`` suffices.
+    """
+
+    def __init__(self) -> None:
+        self._bufs: dict[Hashable, np.ndarray] = {}
+        self._flat: np.ndarray | None = None
+        #: number of buffer (re)allocations since construction
+        self.allocations: int = 0
+
+    def get(
+        self,
+        name: Hashable,
+        shape: tuple[int, ...],
+        dtype: type | np.dtype = float,
+    ) -> np.ndarray:
+        """The pooled buffer named ``name`` with ``shape``/``dtype``."""
+        shape = tuple(int(n) for n in shape)
+        buf = self._bufs.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != np.dtype(dtype):
+            buf = np.empty(shape, dtype=dtype)
+            self._bufs[name] = buf
+            self.allocations += 1
+        return buf
+
+    def flat_indices(self, domain: Domain, global_shape: tuple[int, ...]) -> np.ndarray:
+        """Flat global-grid indices of the domain's extended region.
+
+        Cached on first use (the decomposition is MD-step-invariant); lets
+        field restriction run as ``np.take(field.ravel(), flat, out=buf)``
+        — the gather of ``Domain.extract`` without its per-call allocation.
+        """
+        if self._flat is None:
+            ix, iy, iz = domain.grid_indices
+            ny, nz = int(global_shape[1]), int(global_shape[2])
+            self._flat = (
+                ix[:, None, None] * ny + iy[None, :, None]
+            ) * nz + iz[None, None, :]
+        return self._flat
 
 
 def _options_signature(options: LDCOptions) -> tuple:
@@ -97,6 +151,13 @@ class LDCWorkspace:
             int, tuple[np.ndarray, np.ndarray | None, np.ndarray | None]
         ] = {}
         self._ewald: EwaldStructure | None = None
+        #: per-domain reusable work buffers (gathered potentials, v_bc
+        #: targets, band densities), attached to each ``DomainState`` by
+        #: :meth:`prepare` so SCF passes stop re-allocating them
+        self._scratch: dict[int, DomainScratch] = {}
+        #: the batched coordinator's shape-class stack pool
+        #: (``repro.core.batched`` stacks v_eff/ψ/projectors into it)
+        self.batch_pool: DomainScratch = DomainScratch()
         #: per-``prepare`` stats: domains seeded from cached orbitals vs
         #: random (fresh build, or band count changed after atom migration)
         self.warm_domains: int = 0
@@ -133,7 +194,7 @@ class LDCWorkspace:
         return buffers
 
     def reset(self) -> None:
-        """Drop everything (structures and orbital cache)."""
+        """Drop everything (structures, orbital cache, scratch pools)."""
         self._cell = None
         self._signature = None
         self.grid = None
@@ -142,9 +203,21 @@ class LDCWorkspace:
         self._bases.clear()
         self._solver_state.clear()
         self._ewald = None
+        self._scratch.clear()
+        self.batch_pool = DomainScratch()
         self.warm_domains = 0
         self.cold_domains = 0
         self.steps = 0
+
+    def scratch_allocations(self) -> int:
+        """Total buffer allocations across every scratch pool.
+
+        Flat across warm SCF passes — the domain-batching benchmark asserts
+        the delta over a warm trajectory step is zero.
+        """
+        return self.batch_pool.allocations + sum(
+            s.allocations for s in self._scratch.values()
+        )
 
     def _ensure_structures(
         self, config: Configuration, options: LDCOptions
@@ -236,10 +309,15 @@ class LDCWorkspace:
                 if options.vion == "domain"
                 else None
             )
+            scratch = self._scratch.get(idom)
+            if scratch is None:
+                scratch = DomainScratch()
+                self._scratch[idom] = scratch
             states.append(
                 DomainState(
                     dom, idx, local, basis, vnl, w, nband=nband, psi=psi,
                     v_ion_local=v_ion, vbc=vbc, rho_local=rho_local,
+                    scratch=scratch,
                 )
             )
         self.steps += 1

@@ -20,6 +20,8 @@ basis, so the per-domain fan-out of ``ldc_workers`` stays safe.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.dft.grid import RealSpaceGrid
@@ -60,6 +62,9 @@ class PlaneWaveBasis:
         #: ``indices`` columns are ever written, so rows stay zero elsewhere
         #: and the buffer never needs re-zeroing between calls
         self._spread_buf = np.zeros((0, grid.npoints), dtype=complex)
+        #: batched-transform spread scratch (see :meth:`_batch_scratch`)
+        self._batch_buf: Any = None
+        self._batch_buf_xp: Any = None
 
     # -- transforms ----------------------------------------------------------
 
@@ -71,6 +76,17 @@ class PlaneWaveBasis:
                 (nband, self.grid.npoints), dtype=complex
             )
         return self._spread_buf[:nband]
+
+    def structurally_equal(self, other: "PlaneWaveBasis") -> bool:
+        """Whether two bases describe the *same* plane-wave set (same grid
+        shape, cutoff, and G-sphere) — the precondition for stacking their
+        orbital blocks into one batched kernel (shape-class batching)."""
+        return (
+            self.grid.shape == other.grid.shape
+            and self.ecut == other.ecut
+            and self.npw == other.npw
+            and np.array_equal(self.indices, other.indices)
+        )
 
     def to_grid(self, coeffs: np.ndarray) -> np.ndarray:
         """Coefficients → real-space orbital(s).
@@ -99,6 +115,50 @@ class PlaneWaveBasis:
         spectra = np.fft.fftn(fields, axes=(1, 2, 3)) * self._norm_from_grid
         coeffs = spectra.reshape(fields.shape[0], -1)[:, self.indices].T
         return coeffs[:, 0] if single else coeffs
+
+    # -- batched transforms (shape-class stacks) -----------------------------
+
+    def _batch_scratch(self, nrows: int, xp: Any) -> Any:
+        """A ``(nrows, npoints)`` spread buffer for the batched transforms.
+
+        Kept separate from the serial :meth:`_scratch` buffer so the batched
+        coordinator never aliases state a per-domain solve may still hold.
+        Same invariant: only the ``indices`` columns are ever written, so the
+        buffer needs no re-zeroing between calls.  Reallocated if the array
+        backend changes (the buffer must live on the backend's device).
+        """
+        buf = self._batch_buf
+        if buf is None or self._batch_buf_xp is not xp or buf.shape[0] < nrows:
+            buf = xp.zeros((nrows, self.grid.npoints), dtype=complex)
+            self._batch_buf = buf
+            self._batch_buf_xp = xp
+        return buf[:nrows]
+
+    def to_grid_batch(self, coeffs: Any, xp: Any = np) -> Any:
+        """Stacked :meth:`to_grid`: ``(nd, npw, nband)`` coefficients →
+        ``(nd, nband, *grid.shape)`` real-space fields in one batched FFT.
+
+        Every ``coeffs[d]`` slice transforms exactly as ``to_grid`` would
+        (the FFT treats each band's 3-D field independently), so the batched
+        path is bit-identical per domain.  ``xp`` is the array-module
+        namespace from :func:`repro.backend.get`.
+        """
+        coeffs = xp.asarray(coeffs)
+        nd, _, nband = coeffs.shape
+        buf = self._batch_scratch(nd * nband, xp)
+        stack = buf.reshape(nd, nband, self.grid.npoints)
+        stack[:, :, self.indices] = coeffs.transpose(0, 2, 1)
+        return xp.fft.ifftn(
+            stack.reshape((nd, nband) + self.grid.shape), axes=(2, 3, 4)
+        ) * self._norm_to_grid
+
+    def from_grid_batch(self, fields: Any, xp: Any = np) -> Any:
+        """Stacked :meth:`from_grid`: ``(nd, nband, *grid.shape)`` fields →
+        ``(nd, npw, nband)`` coefficients (adjoint of :meth:`to_grid_batch`)."""
+        nd, nband = fields.shape[:2]
+        spectra = xp.fft.fftn(fields, axes=(2, 3, 4)) * self._norm_from_grid
+        coeffs = spectra.reshape(nd, nband, -1)[:, :, self.indices]
+        return coeffs.transpose(0, 2, 1)
 
     # -- initial guesses -----------------------------------------------------
 

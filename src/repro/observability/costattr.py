@@ -39,6 +39,29 @@ def _eigensolve_flops(args: dict[str, Any]) -> float | None:
     ).total
 
 
+def _batched_solve_flops(args: dict[str, Any]) -> float | None:
+    """One shape-class stacked solve (``ldc.batched_solve``).
+
+    The span's ``cg_iterations`` is the *sum* over the class's domains, so
+    the per-iteration FFT/nonlocal/subspace terms of
+    :func:`domain_scf_flops` already count the whole stack; only the
+    per-solve orthonormalization setup must be repeated ``n_domains``
+    times.
+    """
+    counts_total = _eigensolve_flops(args)
+    if counts_total is None:
+        return None
+    n_domains = max(int(args.get("n_domains") or 1), 1)
+    ortho = domain_scf_flops(
+        npw=int(args["npw"]),
+        nband=int(args["nband"]),
+        grid_points=int(args["grid_points"]),
+        nproj=int(args.get("nproj") or 0),
+        cg_iterations=1,
+    ).orthonormalization
+    return counts_total + (n_domains - 1) * ortho
+
+
 def _poisson_flops(args: dict[str, Any]) -> float | None:
     grid_points = args.get("grid_points")
     if not grid_points:
@@ -54,6 +77,7 @@ def _poisson_flops(args: dict[str, Any]) -> float | None:
 ESTIMATORS: dict[str, Callable[[dict[str, Any]], float | None]] = {
     "scf.eigensolve": _eigensolve_flops,
     "ldc.domain_solve": _eigensolve_flops,
+    "ldc.batched_solve": _batched_solve_flops,
     "poisson.solve": _poisson_flops,
 }
 

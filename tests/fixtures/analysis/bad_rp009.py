@@ -1,0 +1,30 @@
+"""Fixture: backend-neutrality violations (RP009)."""
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+from numpy import matmul  # runtime from-import — flagged
+
+from repro import backend
+
+if TYPE_CHECKING:
+    import numpy as np_types  # annotation-only — not flagged
+
+
+def stacked_apply(psi):
+    """Direct numpy calls in a backend-routed module — flagged."""
+    xp = backend.get()
+    out = xp.matmul(psi, psi)  # routed — fine
+    out += np.matmul(psi, psi)  # direct — flagged
+    out += matmul(psi, psi)  # from-import call site (import already flagged)
+    return np.fft.fftn(out)  # dotted chain — flagged
+
+
+def dtype_attribute_is_fine(shape):
+    """Bare attribute reads stay legal (dtypes, constants)."""
+    xp = backend.get()
+    return xp.zeros(shape, dtype=np.complex128) * np.pi
+
+
+def annotated(x: "np_types.ndarray"):
+    return x
