@@ -20,6 +20,13 @@ input to the regression gate::
 
 ``meta`` records provenance (git SHA, timestamp, python/numpy versions) so
 a ledger entry can always be traced back to the code that produced it.
+
+Each :func:`report` call additionally lands a *run-ledger* entry: a
+``telemetry/runs/<run_id>/`` directory (component ``bench:<name>``)
+holding copies of both artifacts plus a schema'd manifest with content
+hashes and the records' headline numbers flattened into manifest metrics —
+the input to ``python -m repro.observability.runlog diff/drift`` and
+``regress --runs``.  Set ``REPRO_TELEMETRY_DIR`` to move the ledger root.
 """
 
 from __future__ import annotations
@@ -101,9 +108,27 @@ def report(
         "lines": list(lines),
         "records": records or [],
     }
-    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
-        json.dumps(payload, indent=1) + "\n"
-    )
+    txt_path = RESULTS_DIR / f"{name}.txt"
+    json_path = RESULTS_DIR / f"BENCH_{name}.json"
+    json_path.write_text(json.dumps(payload, indent=1) + "\n")
+    _ledger_entry(name, txt_path, json_path, records or [], schema)
+
+
+def _ledger_entry(
+    name: str,
+    txt_path: pathlib.Path,
+    json_path: pathlib.Path,
+    records: list[dict],
+    schema: RecordSchema | None,
+) -> None:
+    """Land this report as a run-ledger entry under telemetry/runs/."""
+    from repro.observability.runlog import RunRecorder, flatten_records
+
+    rec = RunRecorder(component=f"bench:{name}")
+    rec.add_artifact(txt_path)
+    rec.add_artifact(json_path)
+    rec.add_metrics(flatten_records(records, schema))
+    rec.finish()
 
 
 def fmt_row(*cols, widths=None) -> str:

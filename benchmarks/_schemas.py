@@ -372,6 +372,25 @@ SCHEMAS: dict[str, RecordSchema] = {
             "overhead_pct": _TIMING,
         },
     ),
+    "runlog_overhead": _metric_schema(
+        "runlog_overhead",
+        {
+            # the facade contract, pinned as a count: a recorder-less QMD
+            # run must execute no runlog/flightrec/profiler code at all
+            "runlog_calls_disabled": _EXACT,
+            # ...while the enabled run really ledgers (1.0 = manifest
+            # written, hashes verified, invocation recorded)
+            "enabled_ledger_ok": _EXACT,
+            "manifest_artifacts": {"direction": "higher", "rel_tol": 0.0,
+                                   "abs_tol": 0.0},
+            "flight_events_enabled": {"direction": "higher",
+                                      "rel_tol": 0.25},
+            # host wall-clock: ledgered for the record, never gated
+            "t_disabled_s": _TIMING,
+            "t_enabled_s": _TIMING,
+            "overhead_pct": _TIMING,
+        },
+    ),
     # -- self-lint throughput -------------------------------------------------
     "analysis": RecordSchema(
         bench="analysis",

@@ -1,17 +1,25 @@
-"""Instrumented QMD run: one trace, one metrics snapshot, one breakdown.
+"""Instrumented QMD run: one ledger entry, one trace, one breakdown.
 
 Demonstrates the observability subsystem end-to-end on a tiny LDC-QMD
-trajectory (the acceptance flow of the telemetry PR):
+trajectory (the acceptance flow of the telemetry + run-ledger PRs):
 
-1. thread one ``Instrumentation`` facade through the QMD driver, the LDC
-   engine, the multigrid Poisson solver, and the eigensolvers;
+1. thread one ``Instrumentation`` facade — with an attached
+   ``RunRecorder`` — through the QMD driver, the LDC engine, the
+   multigrid Poisson solver, and the eigensolvers;
 2. additionally execute the solve on the virtual Blue Gene/Q so the
-   simulated-rank timeline lands in the *same* Chrome trace (pid 2);
-3. write ``telemetry/trace.json`` + ``telemetry/metrics.{json,csv}`` and
-   print the paper-style per-phase breakdown.
+   simulated-rank timeline lands in the *same* Chrome trace (pid 2), and
+   sample the run with the profiler so statistical frames land on pid 4;
+3. finish the run: ``telemetry/runs/<run_id>/`` now holds ``trace.json``,
+   ``metrics.{json,csv}``, ``profile.json``, and a schema'd
+   ``manifest.json`` whose content hashes verify.
 
-Open ``telemetry/trace.json`` in chrome://tracing or https://ui.perfetto.dev
-to see measured spans and predicted rank activity side by side.
+Open the run's ``trace.json`` in chrome://tracing or
+https://ui.perfetto.dev to see measured spans, predicted rank activity,
+and profiler samples side by side; then inspect the ledger::
+
+    python -m repro.observability.runlog list
+    python -m repro.observability.runlog show <run_id>
+    python -m repro.observability.report <run_id> --profile
 
 Run:  PYTHONPATH=src python examples/telemetry_qmd.py
 """
@@ -22,6 +30,7 @@ from repro.md.integrator import initialize_velocities
 from repro.md.qmd import LDCEngine, QMDDriver
 from repro.observability import Instrumentation
 from repro.observability.report import phase_breakdown, render_breakdown
+from repro.observability.runlog import RunRecorder, verify_run
 from repro.systems import dimer
 
 
@@ -33,7 +42,8 @@ def main() -> None:
         poisson="multigrid",
     )
 
-    ins = Instrumentation()
+    recorder = RunRecorder(component="example:telemetry_qmd", profile=True)
+    ins = Instrumentation(recorder=recorder)
 
     # A short instrumented QMD trajectory (warm-started LDC solves).
     driver = QMDDriver(LDCEngine(opts), timestep=5.0, instrumentation=ins)
@@ -43,8 +53,11 @@ def main() -> None:
     # merges into the same trace under its own pid.
     run_parallel_ldc(config, opts, total_ranks=8, instrumentation=ins)
 
-    paths = ins.write_artifacts("telemetry")
-    print(f"artifacts: {', '.join(str(p) for p in paths.values())}\n")
+    manifest = recorder.finish()
+    problems = verify_run(recorder.dir)
+    print(f"run ledger entry: {recorder.dir}")
+    print(f"artifacts: {', '.join(sorted(manifest['artifacts']))}")
+    print(f"hashes verify: {'yes' if not problems else problems}\n")
 
     events = ins.to_chrome_trace()["traceEvents"]
     print("== measured spans (pid 1) ==")

@@ -32,6 +32,14 @@ are registered on a monitor with thresholds from a config object.
   ``attach_comm_profiler`` call) runs the simulated machine invisibly to
   the communication observatory — ``--comm`` and the divergence invariant
   see nothing.
+* **Direct telemetry-artifact write.**  An ``open(..., "w")`` /
+  ``json.dump`` / ``.write_text`` targeting a path under ``telemetry/``
+  or a well-known artifact name (``trace.json``, ``manifest.json``,
+  ``blackbox.jsonl``, ...) outside the RunRecorder/sink layer produces
+  files with no run identity, no manifest entry, and no content hash —
+  the run ledger can neither verify nor diff them.  Write artifacts via
+  ``Instrumentation.write_artifacts`` / ``RunRecorder.add_artifact`` and
+  resolve locations through ``repro.observability.telemetry_root()``.
 
 The ``repro/observability`` package itself is exempt, as is
 ``repro/parallel`` — they *implement* the contract this rule holds call
@@ -58,8 +66,10 @@ class TelemetryHygieneChecker(Checker):
         "constructed off-registry, an Invariant built without being "
         "registered on a HealthMonitor, a health threshold hard-coded "
         "at an Invariant call site, a CostTracker clock mutated outside "
-        "the charge methods, or a CostTracker/VirtualComm built without "
-        "a profiler in an instrumented code path"
+        "the charge methods, a CostTracker/VirtualComm built without "
+        "a profiler in an instrumented code path, or a telemetry "
+        "artifact written directly instead of through the "
+        "RunRecorder/sink layer"
     )
     exempt_paths = ("repro/observability/", "repro/parallel/")
 
@@ -69,6 +79,7 @@ class TelemetryHygieneChecker(Checker):
         registered = self._registered_invariant_calls(ctx.tree)
         yield from self._check_clock_mutation(ctx)
         yield from self._check_unprofiled_vm(ctx)
+        yield from self._check_direct_telemetry_writes(ctx)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -109,6 +120,26 @@ class TelemetryHygieneChecker(Checker):
                             f"{func_name} call site; WARN/FAIL bands belong "
                             f"in one HealthThresholds config object",
                         )
+
+    # -- telemetry-artifact writes -------------------------------------------
+
+    def _check_direct_telemetry_writes(
+        self, ctx: FileContext
+    ) -> Iterator[Finding]:
+        """Flag write-mode file operations aimed at telemetry paths."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _telemetry_write_target(node)
+            if target is not None:
+                yield ctx.finding(
+                    node, self.rule,
+                    f"telemetry artifact {target!r} written directly; the "
+                    f"file gets no run identity, manifest entry, or content "
+                    f"hash — write it via Instrumentation.write_artifacts/"
+                    f"RunRecorder.add_artifact and resolve the location "
+                    f"through repro.observability.telemetry_root()",
+                )
 
     # -- virtual-machine observability ---------------------------------------
 
@@ -254,6 +285,64 @@ class TelemetryHygieneChecker(Checker):
             elif isinstance(node, ast.Return) and node.value is not None:
                 collect(node.value)
         return allowed
+
+
+#: well-known artifact basenames the run ledger owns
+_ARTIFACT_NAMES = (
+    "trace.json", "metrics.json", "metrics.csv", "health.json",
+    "comm.json", "manifest.json", "blackbox.jsonl", "profile.json",
+)
+
+
+def _string_literals(node: ast.expr) -> Iterator[str]:
+    """Every string constant anywhere inside an argument expression
+    (covers f-strings, ``Path(...) / "x"``, ``os.path.join`` chains)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            yield sub.value
+
+
+def _is_telemetry_path_expr(node: ast.expr) -> str | None:
+    """The matched telemetry-ish string literal inside ``node``, if any."""
+    for text in _string_literals(node):
+        if "telemetry/" in text or text.startswith("telemetry"):
+            return text
+        if text.endswith(_ARTIFACT_NAMES):
+            return text
+    return None
+
+
+def _telemetry_write_target(node: ast.Call) -> str | None:
+    """The offending path when ``node`` writes a telemetry artifact.
+
+    Covered shapes: ``open(path, "w"/"a"/...)``, ``json.dump(obj, fh)``
+    where the dump call's subtree names the path (rare but explicit), and
+    ``<path-expr>.write_text/write_bytes(...)``.  Read-mode ``open`` is
+    exempt — consuming artifacts is exactly what the ledger is for.
+    """
+    func = dotted_name(node.func)
+    method = call_method_name(node)
+    if func == "open" and node.args:
+        mode = ""
+        if len(node.args) > 1 and isinstance(node.args[1], ast.Constant):
+            mode = str(node.args[1].value)
+        for kw in node.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                mode = str(kw.value.value)
+        if not any(c in mode for c in "wax+"):
+            return None
+        return _is_telemetry_path_expr(node.args[0])
+    if func == "json.dump" or (func is None and method == "dump"):
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            target = _is_telemetry_path_expr(arg)
+            if target is not None:
+                return target
+        return None
+    if method in ("write_text", "write_bytes") and isinstance(
+        node.func, ast.Attribute
+    ):
+        return _is_telemetry_path_expr(node.func.value)
+    return None
 
 
 def _is_clocks_target(node: ast.expr) -> bool:

@@ -143,6 +143,22 @@ def get(name: str | None = None) -> Any:
     return xp
 
 
+def resolved_name(name: str | None = None) -> str:
+    """The backend name :func:`get` would resolve to, without loading it.
+
+    Provenance stamping (the run ledger's manifest) wants the *name* of the
+    active backend even when no kernel has touched it yet; ``"auto"`` is
+    reported as-is since its concrete choice depends on importability at
+    first use.
+    """
+    return (
+        name
+        or _DEFAULT
+        or os.environ.get(ENV_VAR, "").strip()
+        or "auto"
+    ).lower()
+
+
 def _load_numpy() -> Any:
     import numpy
 
@@ -225,6 +241,7 @@ __all__ = [
     "available",
     "get",
     "register_backend",
+    "resolved_name",
     "set_default",
     "validate_namespace",
 ]

@@ -458,14 +458,23 @@ def run_ldc(
     if instrumentation is None:
         return _run_ldc(config, opts, compute_forces, rho0, grid, None,
                         workspace, san)
+    if instrumentation.recorder is not None:
+        instrumentation.recorder.record_invocation(
+            "ldc.run", opts, natoms=len(config.symbols)
+        )
     with instrumentation.span(
         "ldc.run", category="ldc", natoms=len(config.symbols),
         mode=opts.mode, domains=str(opts.domains), buffer=opts.buffer,
     ) as span:
-        result = _run_ldc(
-            config, opts, compute_forces, rho0, grid, instrumentation,
-            workspace, san,
-        )
+        try:
+            result = _run_ldc(
+                config, opts, compute_forces, rho0, grid, instrumentation,
+                workspace, san,
+            )
+        except Exception as exc:
+            if instrumentation.recorder is not None:
+                instrumentation.recorder.record_failure(exc)
+            raise
         span.attrs.update(
             converged=result.converged, iterations=result.iterations,
             ndomains=result.n_domains,

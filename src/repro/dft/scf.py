@@ -209,13 +209,22 @@ def run_scf(
     san = sanitize if sanitize is not None else ENV_SANITIZERS
     if instrumentation is None:
         return _run_scf(config, opts, v_extra, rho0, grid, None, psi0, san)
+    if instrumentation.recorder is not None:
+        instrumentation.recorder.record_invocation(
+            "scf.run", opts, natoms=len(config.symbols)
+        )
     with instrumentation.span(
         "scf.run", category="scf", natoms=len(config.symbols),
         eigensolver=opts.eigensolver, mixer=opts.mixer,
     ) as span:
-        result = _run_scf(
-            config, opts, v_extra, rho0, grid, instrumentation, psi0, san
-        )
+        try:
+            result = _run_scf(
+                config, opts, v_extra, rho0, grid, instrumentation, psi0, san
+            )
+        except Exception as exc:
+            if instrumentation.recorder is not None:
+                instrumentation.recorder.record_failure(exc)
+            raise
         span.attrs.update(
             converged=result.converged, iterations=result.iterations
         )

@@ -212,28 +212,39 @@ class QMDDriver:
     def run(self, config: Configuration, nsteps: int) -> list[QMDFrame]:
         """Advance ``nsteps``; returns (and accumulates) the recorded frames."""
         ins = self.instrumentation
+        if ins is not None and ins.recorder is not None:
+            ins.recorder.record_invocation(
+                "qmd.run",
+                getattr(self.engine, "options", None),
+                engine=type(self.engine).__name__,
+                timestep=self.timestep,
+                nsteps=nsteps,
+                natoms=config.natoms,
+            )
+            try:
+                return self._run(config, nsteps, ins)
+            except Exception as exc:
+                ins.recorder.record_failure(exc)
+                raise
+        return self._run(config, nsteps, ins)
+
+    def _run(self, config: Configuration, nsteps: int, ins) -> list[QMDFrame]:
         for step in range(nsteps):
             self._scf_iters_last = 0
             if ins is None:
                 self._advance(config)
-            else:
-                with ins.span(
-                    "qmd.step", category="qmd", step=len(self.frames)
-                ) as span:
-                    self._advance(config)
-                    span.attrs["scf_iterations"] = self._scf_iters_last
-            frame = QMDFrame(
-                step=len(self.frames),
-                potential_energy=self.integrator.potential_energy,
-                kinetic_energy=kinetic_energy(config),
-                temperature=temperature(config),
-                scf_iterations=self._scf_iters_last,
-                positions=config.positions.copy()
-                if self.record_positions
-                else None,
-            )
-            self.frames.append(frame)
-            if ins is not None:
+                self.frames.append(self._frame(config))
+                continue
+            # the per-step telemetry (series, health verdicts) fires while
+            # the qmd.step span is still open, so a health FAIL dumps with
+            # the failing step on the flight recorder's open-span stack
+            with ins.span(
+                "qmd.step", category="qmd", step=len(self.frames)
+            ) as span:
+                self._advance(config)
+                span.attrs["scf_iterations"] = self._scf_iters_last
+                frame = self._frame(config)
+                self.frames.append(frame)
                 ins.series("qmd.scf_iterations").append(frame.scf_iterations)
                 ins.series("qmd.temperature").append(frame.temperature)
                 ins.series("qmd.total_energy").append(frame.total_energy)
@@ -257,6 +268,18 @@ class QMDDriver:
                         target_kelvin=getattr(self.thermostat, "target", None),
                     )
         return self.frames
+
+    def _frame(self, config: Configuration) -> QMDFrame:
+        return QMDFrame(
+            step=len(self.frames),
+            potential_energy=self.integrator.potential_energy,
+            kinetic_energy=kinetic_energy(config),
+            temperature=temperature(config),
+            scf_iterations=self._scf_iters_last,
+            positions=config.positions.copy()
+            if self.record_positions
+            else None,
+        )
 
     def _advance(self, config: Configuration) -> None:
         self.integrator.step(config)

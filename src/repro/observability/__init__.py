@@ -26,7 +26,12 @@ Two further layers close the loop from telemetry to *gates*:
   window) attached to the facade as ``Instrumentation(health=...)``;
 * :mod:`repro.observability.regress` — the schema'd BENCH ledger and the
   performance-regression CLI that diffs fresh results against committed
-  baselines.
+  baselines;
+* :mod:`repro.observability.runlog` — the *run ledger*: per-run identity
+  and manifests under ``telemetry/runs/<run_id>/``
+  (``Instrumentation(recorder=RunRecorder(...))``), the failure-triggered
+  :class:`FlightRecorder` black box, the :class:`SamplingProfiler`, and
+  the cross-run diff/drift CLI (``python -m repro.observability.runlog``).
 
 The report CLI renders a paper-style per-phase breakdown from a trace
 (``--flops`` adds the roofline-style FLOP attribution of
@@ -55,8 +60,10 @@ from repro.observability.health import (
     HealthRecord,
     HealthThresholds,
 )
+from repro.observability.flightrec import FlightRecorder
 from repro.observability.instrumentation import Instrumentation
 from repro.observability.logs import configure_logging, get_logger
+from repro.observability.profiler import SamplingProfiler, render_profile
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.stream import (
     JsonlSink,
@@ -71,6 +78,7 @@ __all__ = [
     "CriticalSegment",
     "DivergenceInvariant",
     "FieldSpec",
+    "FlightRecorder",
     "HealthError",
     "HealthMonitor",
     "HealthRecord",
@@ -79,6 +87,8 @@ __all__ = [
     "JsonlSink",
     "MetricsRegistry",
     "RecordSchema",
+    "RunRecorder",
+    "SamplingProfiler",
     "Span",
     "SpanTracer",
     "TelemetryBus",
@@ -95,6 +105,9 @@ __all__ = [
     "read_jsonl",
     "render_breakdown",
     "render_critical_path",
+    "render_profile",
+    "runs_root",
+    "telemetry_root",
 ]
 
 
@@ -111,4 +124,8 @@ def __getattr__(name):
         from repro.observability import regress
 
         return getattr(regress, name)
+    if name in ("RunRecorder", "runs_root", "telemetry_root"):
+        from repro.observability import runlog
+
+        return getattr(runlog, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

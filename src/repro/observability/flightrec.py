@@ -1,0 +1,175 @@
+"""The flight recorder: a bounded event ring dumped on failure.
+
+A :class:`FlightRecorder` subscribes to the
+:class:`~repro.observability.stream.TelemetryBus` and keeps the most recent
+telemetry in memory — a bounded ring of raw events plus the latest sample
+per metric key.  Nothing is written while a run is healthy.  When the run
+fails — a health invariant FAILs, a sanitizer trips, or a driver dies on an
+unhandled exception — the recorder dumps its ring, the currently *open*
+span stack, and the recent metric samples to ``blackbox.jsonl`` inside the
+run directory: the post-mortem artifact the elastic-execution work replays.
+
+Dump format is JSONL, one record per line, discriminated by ``"record"``::
+
+    {"record": "dump",      "reason": "health_fail", "seen": 412, ...}
+    {"record": "event",     "topic": "span", "seq": 405, ...}
+    {"record": "open_span", "path": "qmd.step/ldc.run", ...}
+    {"record": "metric",    "key": "qmd.total_energy.last", "value": ...}
+
+A crash-time file may by construction end mid-record;
+:func:`~repro.observability.stream.read_jsonl` tolerates exactly that.
+
+The recorder is wired automatically by
+:class:`~repro.observability.runlog.RunRecorder`; it can also be used
+standalone (``bus.subscribe(flight)``) with an explicit ``dump_dir``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from collections import OrderedDict, deque
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.observability.tracer import SpanTracer
+
+#: file name of the post-mortem dump inside a run directory
+BLACKBOX_NAME = "blackbox.jsonl"
+
+
+class FlightRecorder:
+    """Bounded telemetry ring buffer with failure-triggered dumps.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum events retained; older events are evicted FIFO (the ring
+        semantics a post-mortem wants: the *last* N events before death).
+    metrics_keep:
+        Most-recently-sampled metric keys retained (one latest sample per
+        key, LRU-evicted beyond this bound).
+    dump_dir:
+        Directory receiving ``blackbox.jsonl``; usually set by the owning
+        :class:`~repro.observability.runlog.RunRecorder`.  ``None`` makes
+        :meth:`dump` a no-op returning ``None``.
+    tracer:
+        Optional :class:`~repro.observability.tracer.SpanTracer` whose
+        open-span stacks are included in dumps.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        metrics_keep: int = 64,
+        dump_dir=None,
+        tracer: "SpanTracer | None" = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("flight-recorder capacity must be >= 1")
+        self.capacity = capacity
+        self.metrics_keep = metrics_keep
+        self.dump_dir = dump_dir
+        self.tracer = tracer
+        self._lock = threading.Lock()
+        self._events: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._metrics: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        #: total events observed (>= len(ring) once the ring wraps)
+        self.seen = 0
+        #: paths written by :meth:`dump`, in order
+        self.dumps: list[pathlib.Path] = []
+
+    # -- bus subscriber -------------------------------------------------------
+
+    def __call__(self, event: dict[str, Any]) -> None:
+        """Record one bus event; a FAIL health verdict triggers a dump."""
+        topic = event.get("topic")
+        with self._lock:
+            self.seen += 1
+            self._events.append(event)
+            if topic == "metric":
+                data = event.get("data", {})
+                key = str(data.get("key"))
+                self._metrics[key] = {
+                    "key": key,
+                    "value": data.get("value"),
+                    "seq": event.get("seq"),
+                    "time": event.get("time"),
+                }
+                self._metrics.move_to_end(key)
+                while len(self._metrics) > self.metrics_keep:
+                    self._metrics.popitem(last=False)
+        if (
+            topic == "health"
+            and event.get("data", {}).get("status") == "fail"
+        ):
+            self.dump("health_fail", trigger=event)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def overflowed(self) -> int:
+        """Events evicted from the ring since creation."""
+        with self._lock:
+            return max(0, self.seen - len(self._events))
+
+    def events(self) -> list[dict[str, Any]]:
+        """Ring contents, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    def recent_metrics(self) -> list[dict[str, Any]]:
+        """Latest sample per metric key, least-recently-sampled first."""
+        with self._lock:
+            return list(self._metrics.values())
+
+    # -- the post-mortem dump -------------------------------------------------
+
+    def dump(self, reason: str, trigger=None, path=None) -> pathlib.Path | None:
+        """Write the black box; returns the path (``None`` if undumpable).
+
+        Multiple dumps append to the same file, each starting with its own
+        ``"dump"`` header record, so a health FAIL followed by the raising
+        sink's exception leaves both contexts on disk in order.
+        """
+        if path is None:
+            if self.dump_dir is None:
+                return None
+            path = pathlib.Path(self.dump_dir) / BLACKBOX_NAME
+        path = pathlib.Path(path)
+        with self._lock:
+            events = list(self._events)
+            metrics = list(self._metrics.values())
+            seen = self.seen
+        records: list[dict[str, Any]] = [
+            {
+                "record": "dump",
+                "reason": reason,
+                "seen": seen,
+                "retained": len(events),
+                "overflowed": max(0, seen - len(events)),
+                "trigger": trigger,
+            }
+        ]
+        records.extend({"record": "event", **e} for e in events)
+        if self.tracer is not None:
+            for s in self.tracer.open_spans():
+                records.append(
+                    {
+                        "record": "open_span",
+                        "name": s.name,
+                        "path": s.path,
+                        "category": s.category,
+                        "t_start": s.t_start,
+                        "thread_id": s.thread_id,
+                        "attrs": s.attrs,
+                    }
+                )
+        records.extend({"record": "metric", **m} for m in metrics)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a") as fh:
+            for rec in records:
+                fh.write(json.dumps(rec, sort_keys=True, default=str) + "\n")
+        self.dumps.append(path)
+        return path

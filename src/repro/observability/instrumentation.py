@@ -40,6 +40,7 @@ from repro.util.timer import WallClock
 if TYPE_CHECKING:
     from repro.observability.comms import CommProfiler
     from repro.observability.health import HealthMonitor
+    from repro.observability.runlog import RunRecorder
     from repro.observability.stream import TelemetryBus
 
 
@@ -66,6 +67,13 @@ class Instrumentation:
         comm-profiler summaries are published to it live (topics ``span``,
         ``metric``, ``health``, ``comm.summary``).  ``None`` (the default)
         installs no listeners, so recording stays bus-free.
+    recorder:
+        Optional :class:`~repro.observability.runlog.RunRecorder`.  When
+        set, the run gets a ledger entry (``telemetry/runs/<run_id>/`` with
+        a schema'd manifest), a flight recorder is subscribed to the bus
+        (one is auto-created if ``stream`` is ``None``), and drivers note
+        their invocations/failures against it.  ``None`` (the default)
+        executes zero runlog code.
     """
 
     def __init__(
@@ -76,6 +84,7 @@ class Instrumentation:
         clock: WallClock | None = None,
         health: "HealthMonitor | None" = None,
         stream: "TelemetryBus | None" = None,
+        recorder: "RunRecorder | None" = None,
     ) -> None:
         self.tracer = tracer or SpanTracer(clock=clock)
         self.metrics = metrics or MetricsRegistry()
@@ -89,9 +98,18 @@ class Instrumentation:
         self.extra_chrome_events: list[dict[str, Any]] = []
         #: comm profilers attached by drivers (`attach_comm_profiler`)
         self.comm_profilers: list["CommProfiler"] = []
+        if stream is None and recorder is not None:
+            # the flight recorder listens on the bus; a ledger-enabled run
+            # without an explicit bus gets a private one
+            from repro.observability.stream import TelemetryBus
+
+            stream = TelemetryBus(clock=self.tracer._clock)
         self.stream = stream
         if stream is not None:
             self._wire_stream(stream)
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.attach(self)
 
     def _wire_stream(self, bus: "TelemetryBus") -> None:
         """Subscribe the bus to span/metric/health emission points."""

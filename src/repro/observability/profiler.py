@@ -1,0 +1,242 @@
+"""Thread-based wall-clock sampling profiler for ``repro.*`` code.
+
+A background thread periodically snapshots every live thread's Python stack
+(``sys._current_frames``) and attributes each sample to the innermost frame
+inside the ``repro`` package — plus, when a
+:class:`~repro.observability.tracer.SpanTracer` is attached, the span phase
+that thread currently has open.  Because sampling happens from *outside*
+the measured threads, the hot path runs completely unmodified: the
+zero-overhead contract holds trivially when no profiler is started, and
+the enabled cost is one stack walk per thread per tick.
+
+Outputs:
+
+* :meth:`SamplingProfiler.table` / :func:`render_profile` — the self-profile
+  accounting table (frame | phase | samples | %) behind
+  ``python -m repro.observability.report <run> --profile``;
+* :meth:`SamplingProfiler.chrome_events` — consecutive same-frame samples
+  coalesced into Chrome-trace slices on their own pid
+  (:data:`PROFILE_TRACE_PID`), so the statistical profile renders alongside
+  the measured spans (pid 1), simulated ranks (pid 2), and health instants
+  (pid 3) in one viewer;
+* :meth:`SamplingProfiler.to_dict` — the ``profile.json`` run artifact.
+
+The profiler is owned by :class:`~repro.observability.runlog.RunRecorder`
+(``RunRecorder(profile=True)``) but is usable standalone.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.util.timer import WallClock
+
+if TYPE_CHECKING:
+    from repro.observability.tracer import SpanTracer
+
+#: pid for profile slices in merged Chrome traces (spans=1, VM ranks=2,
+#: health instants=3)
+PROFILE_TRACE_PID = 4
+
+_REPRO_NEEDLE = os.sep + "repro" + os.sep
+
+
+def attribute_frame(frame) -> str | None:
+    """``module:function`` of the innermost ``repro.*`` frame, else None."""
+    f = frame
+    while f is not None:
+        filename = f.f_code.co_filename
+        idx = filename.rfind(_REPRO_NEEDLE)
+        if idx >= 0:
+            rel = filename[idx + 1 : ]
+            if rel.endswith(".py"):
+                rel = rel[: -len(".py")]
+            module = rel.replace(os.sep, ".")
+            if module.endswith(".__init__"):
+                module = module[: -len(".__init__")]
+            return f"{module}:{f.f_code.co_name}"
+        f = f.f_back
+    return None
+
+
+class SamplingProfiler:
+    """Wall-clock stack sampler attributing time to ``repro.*`` frames."""
+
+    def __init__(
+        self,
+        interval: float = 0.002,
+        clock: WallClock | None = None,
+        tracer: "SpanTracer | None" = None,
+        max_samples: int = 200_000,
+    ) -> None:
+        self.interval = interval
+        self.clock = clock or WallClock()
+        self.tracer = tracer
+        self.max_samples = max_samples
+        #: (time, thread_id, frame, phase) tuples, in sampling order
+        self.samples: list[tuple[float, int, str, str]] = []
+        #: stack snapshots taken (>= len(samples): non-repro ticks attribute
+        #: no sample but still count here)
+        self.ticks = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- sampling -------------------------------------------------------------
+
+    def _loop(self) -> None:
+        own = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            if len(self.samples) >= self.max_samples:
+                break
+            self._sample(own)
+
+    def _sample(self, own_ident: int) -> None:
+        t = self.clock.now()
+        self.ticks += 1
+        stacks = getattr(self.tracer, "_open_stacks", None)
+        for tid, frame in sys._current_frames().items():
+            if tid == own_ident:
+                continue
+            attributed = attribute_frame(frame)
+            if attributed is None:
+                continue
+            phase = ""
+            if stacks is not None:
+                stack = stacks.get(tid)
+                if stack:
+                    phase = stack[-1].path or stack[-1].name
+            self.samples.append((t, tid, attributed, phase))
+
+    # -- aggregation ----------------------------------------------------------
+
+    def table(self) -> list[dict[str, Any]]:
+        """``{frame, phase, samples, percent}`` rows, heaviest first."""
+        counts: dict[tuple[str, str], int] = {}
+        for _, _, frame, phase in self.samples:
+            counts[(frame, phase)] = counts.get((frame, phase), 0) + 1
+        total = len(self.samples)
+        return [
+            {
+                "frame": frame,
+                "phase": phase,
+                "samples": n,
+                "percent": 100.0 * n / total if total else 0.0,
+            }
+            for (frame, phase), n in sorted(
+                counts.items(), key=lambda kv: -kv[1]
+            )
+        ]
+
+    def chrome_events(
+        self, pid: int = PROFILE_TRACE_PID
+    ) -> list[dict[str, Any]]:
+        """Consecutive same-attribution samples coalesced into X slices."""
+        by_tid: dict[int, list[tuple[float, str, str]]] = {}
+        for t, tid, frame, phase in self.samples:
+            by_tid.setdefault(tid, []).append((t, frame, phase))
+        events: list[dict[str, Any]] = []
+        gap = 4.0 * self.interval
+        for tid, rows in by_tid.items():
+            rows.sort(key=lambda r: r[0])
+            run_start = run_end = None
+            run_key: tuple[str, str] | None = None
+            run_n = 0
+
+            def flush() -> None:
+                if run_key is None:
+                    return
+                events.append(
+                    {
+                        "name": run_key[0],
+                        "cat": "profile",
+                        "ph": "X",
+                        "ts": run_start * 1e6,
+                        "dur": max(run_end - run_start, self.interval) * 1e6,
+                        "pid": pid,
+                        "tid": tid % 2**31,
+                        "args": {"phase": run_key[1], "samples": run_n},
+                    }
+                )
+
+            for t, frame, phase in rows:
+                key = (frame, phase)
+                if run_key == key and t - run_end <= gap:
+                    run_end = t
+                    run_n += 1
+                else:
+                    flush()
+                    run_key, run_start, run_end, run_n = key, t, t, 1
+            flush()
+        events.sort(key=lambda e: e["ts"])
+        return events
+
+    def to_dict(self) -> dict[str, Any]:
+        """The ``profile.json`` payload."""
+        return {
+            "interval": self.interval,
+            "ticks": self.ticks,
+            "nsamples": len(self.samples),
+            "rows": self.table(),
+        }
+
+
+def render_profile(profile: dict[str, Any], top: int | None = None) -> str:
+    """Fixed-width self-profile table from a ``profile.json`` payload."""
+    rows = profile.get("rows", [])
+    if top is not None:
+        rows = rows[:top]
+    if not rows:
+        return (
+            f"no samples ({profile.get('ticks', 0)} ticks at "
+            f"{profile.get('interval', 0.0):.4f}s interval; was the "
+            "profiled code running long enough?)"
+        )
+    fw = max([len(r["frame"]) for r in rows] + [5])
+    pw = max([len(r["phase"] or "-") for r in rows] + [5])
+    lines = [
+        f"{'frame':<{fw}}  {'phase':<{pw}}  {'samples':>7}  {'%':>6}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for r in rows:
+        lines.append(
+            f"{r['frame']:<{fw}}  {r['phase'] or '-':<{pw}}  "
+            f"{r['samples']:>7d}  {r['percent']:>6.2f}"
+        )
+    lines.append(
+        f"\n{profile.get('nsamples', 0)} attributed samples over "
+        f"{profile.get('ticks', 0)} ticks "
+        f"(interval {profile.get('interval', 0.0):.4f}s)"
+    )
+    return "\n".join(lines)

@@ -7,6 +7,15 @@ from a trace produced by :class:`~repro.observability.tracer.SpanTracer`,
     python -m repro.observability.report trace.json
     python -m repro.observability.report trace.json --by cat --top 10
 
+The positional argument also accepts a run directory or a (prefix of a)
+ledger run id — the trace is resolved through the run ledger
+(:mod:`repro.observability.runlog`), dropped-subscriber counts recorded in
+the manifest are surfaced as warnings, and ``--profile`` renders the
+sampling profiler's self-profile table from the run's ``profile.json``::
+
+    python -m repro.observability.report 20260808-143022-qmd-1a2b3c
+    python -m repro.observability.report telemetry/runs/<run_id> --profile
+
 The percentage column is relative to the trace's wall-clock extent
 (max end − min start over the selected events), matching how the paper
 reports per-phase fractions of the run (Sec. 4.2).
@@ -32,8 +41,47 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 from typing import Any
+
+
+def resolve_run(arg) -> tuple[pathlib.Path, pathlib.Path | None]:
+    """Resolve the CLI's positional argument to ``(trace_path, run_dir)``.
+
+    Accepts a trace file, a run directory (containing ``trace.json``), or a
+    ledger run id / unique prefix; ``run_dir`` is ``None`` for a bare file.
+    """
+    path = pathlib.Path(arg)
+    if path.is_dir():
+        return path / "trace.json", path
+    if path.exists():
+        return path, None
+    from repro.observability.runlog import find_run
+
+    run_dir = find_run(str(arg))  # raises FileNotFoundError with detail
+    return run_dir / "trace.json", run_dir
+
+
+def _warn_dropped(run_dir: pathlib.Path) -> None:
+    """Surface the manifest's dropped-subscriber records on stderr."""
+    from repro.observability.runlog import load_manifest
+
+    try:
+        manifest = load_manifest(run_dir)
+    except (OSError, json.JSONDecodeError):
+        return
+    dropped = manifest.get("telemetry", {}).get("dropped") or []
+    if dropped:
+        print(
+            f"warning: {len(dropped)} telemetry subscriber(s) were dropped "
+            "mid-run; events published after the drop are missing from "
+            "the artifacts:",
+            file=sys.stderr,
+        )
+        for entry in dropped:
+            sub, err = (list(entry) + ["", ""])[:2]
+            print(f"  {sub}: {err}", file=sys.stderr)
 
 
 def load_trace(path) -> list[dict[str, Any]]:
@@ -190,7 +238,10 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.observability.report",
         description="Per-phase wall-clock breakdown of a Chrome-trace JSON.",
     )
-    parser.add_argument("trace", help="path to a trace .json file")
+    parser.add_argument(
+        "trace",
+        help="a trace .json file, a run directory, or a ledger run id",
+    )
     parser.add_argument(
         "--by", choices=("name", "cat"), default="name",
         help="aggregate by span name (default) or category",
@@ -221,10 +272,43 @@ def main(argv: list[str] | None = None) -> int:
         help="walk the simulated-rank timelines and print the critical "
              "path (the dependency chain the run actually waits on)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="render the sampling profiler's self-profile table from the "
+             "run's profile.json (requires a run directory or run id)",
+    )
     args = parser.parse_args(argv)
 
     try:
-        events = load_trace(args.trace)
+        trace_path, run_dir = resolve_run(args.trace)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if run_dir is not None:
+        _warn_dropped(run_dir)
+    if args.profile:
+        from repro.observability.profiler import render_profile
+
+        if run_dir is None:
+            print(
+                "error: --profile needs a run directory or run id "
+                "(profile.json lives next to the trace)",
+                file=sys.stderr,
+            )
+            return 2
+        profile_path = run_dir / "profile.json"
+        if not profile_path.is_file():
+            print(
+                f"error: {profile_path} not found; was the run recorded "
+                "with RunRecorder(profile=True)?",
+                file=sys.stderr,
+            )
+            return 2
+        with open(profile_path) as fh:
+            print(render_profile(json.load(fh), top=args.top))
+        return 0
+    try:
+        events = load_trace(trace_path)
     except (OSError, json.JSONDecodeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

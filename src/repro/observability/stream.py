@@ -172,14 +172,28 @@ def attach_jsonl(bus: TelemetryBus, path, topics=None) -> JsonlSink:
     return sink
 
 
-def read_jsonl(path) -> list[dict[str, Any]]:
-    """Load a JSONL telemetry file back into event dicts (round-trip)."""
+def read_jsonl(path, strict: bool = False) -> list[dict[str, Any]]:
+    """Load a JSONL telemetry file back into event dicts (round-trip).
+
+    A crash-time file (the flight recorder's ``blackbox.jsonl``, a sink
+    killed mid-write) ends mid-record by construction, so by default a
+    malformed *final* line is dropped rather than raised on; corruption
+    anywhere earlier — and any malformed line under ``strict=True`` —
+    still raises :class:`json.JSONDecodeError`.
+    """
     events = []
     with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+        lines = [ln.strip() for ln in fh]
+    while lines and not lines[-1]:
+        lines.pop()
+    for i, line in enumerate(lines):
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if strict or i != len(lines) - 1:
+                raise
     return events
 
 

@@ -68,6 +68,11 @@ class SpanTracer:
         #: callables receiving each span as it finishes (telemetry-bus
         #: wire-up); empty by default, so closing a span costs one truth test
         self._listeners: list = []
+        #: per-thread open-span stacks, keyed by thread id — the same list
+        #: objects the thread-locals hold, registered here so the flight
+        #: recorder and the sampling profiler can snapshot *other* threads'
+        #: open spans (reads are GIL-atomic list copies, never mutations)
+        self._open_stacks: dict[int, list[Span]] = {}
 
     def add_listener(self, listener) -> None:
         """Register a callable invoked with every finished :class:`Span`."""
@@ -130,6 +135,18 @@ class SpanTracer:
     def names(self) -> list[str]:
         return sorted({s.name for s in self.spans()})
 
+    def open_spans(self) -> list[Span]:
+        """Snapshot of currently *open* spans across all threads.
+
+        The crash-time context the flight recorder dumps: which phases were
+        in flight when the run died.  Thread ids may be recycled by the OS
+        after a thread exits; a dead thread's (empty) stack is harmless.
+        """
+        out: list[Span] = []
+        for stack in list(self._open_stacks.values()):
+            out.extend(stack[:])
+        return out
+
     def spans_table(self) -> list[dict[str, Any]]:
         """Flat table: one dict per finished span, JSON-serializable."""
         return [
@@ -184,6 +201,7 @@ class SpanTracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            self._open_stacks[threading.get_ident()] = stack
         return stack
 
     def _path_for(self, name: str) -> str:

@@ -1,0 +1,31 @@
+"""Fixture: direct telemetry-artifact writes outside the RunRecorder layer.
+
+Every write here should be flagged by RP006; the read-mode open at the
+bottom must NOT be flagged.
+"""
+
+import json
+import pathlib
+
+
+def write_trace_directly(events):
+    # BAD: write-mode open on a telemetry path
+    with open("telemetry/trace.json", "w") as fh:
+        json.dump({"traceEvents": events}, fh)
+
+
+def append_blackbox(record):
+    # BAD: append-mode open on a ledger-owned artifact name
+    with open(pathlib.Path("out") / "blackbox.jsonl", "a") as fh:
+        fh.write(json.dumps(record) + "\n")
+
+
+def clobber_manifest(manifest, run_dir: pathlib.Path):
+    # BAD: write_text on a manifest path
+    (run_dir / "manifest.json").write_text(json.dumps(manifest))
+
+
+def read_artifacts_back():
+    # OK: read-mode open — consuming artifacts is what the ledger is for
+    with open("telemetry/runs/x/metrics.json") as fh:
+        return json.load(fh)

@@ -111,6 +111,37 @@ def test_rp006_accepts_registered_invariants(tmp_path):
     assert not [f for f in check_file(good) if f.rule == "RP006"]
 
 
+def test_rp006_flags_direct_telemetry_writes():
+    findings = [
+        f for f in unsuppressed(
+            check_file(FIXTURES / "bad_rp006_telemetry.py")
+        )
+        if f.rule == "RP006"
+    ]
+    # write-mode open, append-mode open, write_text — the read-mode
+    # open at the bottom of the fixture must not be flagged
+    assert len(findings) == 3
+    assert all("written directly" in f.message for f in findings)
+    assert all("RunRecorder" in f.message for f in findings)
+
+
+def test_rp006_telemetry_writes_exempt_inside_observability():
+    src = (
+        '"""sink"""\n'
+        "import json\n"
+        "def write(path, payload):\n"
+        "    with open('telemetry/trace.json', 'w') as fh:\n"
+        "        json.dump(payload, fh)\n"
+    )
+    findings = [
+        f for f in unsuppressed(check_file(
+            "src/repro/observability/stream.py", source=src
+        ))
+        if f.rule == "RP006"
+    ]
+    assert findings == []
+
+
 def test_rp006_flags_direct_clock_mutation():
     src = (
         '"""vm"""\n'

@@ -1,5 +1,6 @@
 """Telemetry bus: pub/sub semantics, JSONL sink, facade wiring."""
 
+import json
 import threading
 
 import pytest
@@ -70,6 +71,27 @@ def test_jsonl_sink_round_trip(tmp_path):
     assert [e["topic"] for e in events] == ["span", "metric"]
     assert events[0]["data"] == {"name": "scf.run", "duration": 1.25}
     assert events[1]["data"]["value"] == pytest.approx(1e-6)
+
+
+def test_read_jsonl_tolerates_truncated_final_line(tmp_path):
+    # a crash-time file (blackbox.jsonl, a killed sink) ends mid-record
+    path = tmp_path / "telemetry.jsonl"
+    bus = TelemetryBus()
+    attach_jsonl(bus, path)
+    bus.publish("span", name="qmd.step")
+    bus.publish("metric", key="qmd.steps", value=1.0)
+    bus.close()
+    with open(path, "a") as fh:
+        fh.write('{"topic": "span", "seq": 3, "da')
+    events = read_jsonl(path)
+    assert [e["topic"] for e in events] == ["span", "metric"]
+    with pytest.raises(json.JSONDecodeError):
+        read_jsonl(path, strict=True)
+    # corruption that is NOT the final line still raises by default
+    bad = tmp_path / "corrupt.jsonl"
+    bad.write_text('{"a": 1}\n{oops\n{"b": 2}\n')
+    with pytest.raises(json.JSONDecodeError):
+        read_jsonl(bad)
 
 
 def test_jsonl_sink_numpy_payloads_serialize(tmp_path):
