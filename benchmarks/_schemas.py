@@ -301,6 +301,35 @@ SCHEMAS: dict[str, RecordSchema] = {
             "t_warm_s": _TIMING,
         },
     ),
+    "scf_extrapolation": _metric_schema(
+        "scf_extrapolation",
+        {
+            # deterministic solves: iteration counts gate on increase
+            "warm_eig_iters": {"direction": "lower", "rel_tol": 0.1},
+            "aspc_eig_iters": {"direction": "lower", "rel_tol": 0.1},
+            "warm_scf_passes": {"direction": "lower", "rel_tol": 0.0,
+                                "abs_tol": 2.0},
+            "aspc_scf_passes": {"direction": "lower", "rel_tol": 0.0,
+                                "abs_tol": 2.0},
+            # the headline claim: ASPC must keep beating the warm start
+            "further_reduction_pct": {"direction": "higher", "rel_tol": 0.0,
+                                      "abs_tol": 5.0},
+            # both arms solve the same physics, and every domain path
+            # reproduces the serial ASPC arm
+            "max_energy_dev_ha": {"direction": "lower", "rel_tol": 0.25,
+                                  "abs_tol": 1e-6},
+            "parity_threaded_dev_ha": {"direction": "lower", "rel_tol": 0.0,
+                                       "abs_tol": 1e-10},
+            "parity_batched_dev_ha": {"direction": "lower", "rel_tol": 0.0,
+                                      "abs_tol": 1e-10},
+            "parity_eig_iters_dev": _EXACT,
+            # predictor quality: gauge-invariant ψ residual on the last step
+            "predictor_residual": {"direction": "lower", "rel_tol": 0.5,
+                                   "abs_tol": 1e-4},
+            "t_warm_s": _TIMING,
+            "t_aspc_s": _TIMING,
+        },
+    ),
     "domain_batching": _metric_schema(
         "domain_batching",
         {

@@ -20,6 +20,13 @@ are registered on a monitor with thresholds from a config object.
   ``*Invariant(...)`` call site scatters WARN/FAIL bands through driver
   code; thresholds belong in one
   :class:`~repro.observability.health.HealthThresholds` object.
+* **Hard-coded controller/predictor threshold.**  A numeric-literal
+  keyword at a ``*Controller``/``*Predictor``/``*Extrapolator`` call site
+  (classes from the advisor/extrapolate modules) scatters tuning
+  constants through driver code; they belong in the matching options
+  object (e.g. :class:`~repro.core.advisor.BufferControllerOptions`) —
+  ``*Options(...)`` constructions are the sanctioned home and are not
+  flagged.
 * **Direct virtual-clock mutation.**  Writing ``tracker.clocks[...] = ...``
   (or ``+=``) bypasses the charge methods, so the event log, the attached
   :class:`~repro.observability.comms.CommProfiler`, and the accounting
@@ -65,7 +72,9 @@ class TelemetryHygieneChecker(Checker):
         "span opened outside a with-statement, a metrics instrument "
         "constructed off-registry, an Invariant built without being "
         "registered on a HealthMonitor, a health threshold hard-coded "
-        "at an Invariant call site, a CostTracker clock mutated outside "
+        "at an Invariant call site, a controller/predictor threshold "
+        "hard-coded at a Controller/Predictor/Extrapolator call site, "
+        "a CostTracker clock mutated outside "
         "the charge methods, a CostTracker/VirtualComm built without "
         "a profiler in an instrumented code path, or a telemetry "
         "artifact written directly instead of through the "
@@ -76,6 +85,7 @@ class TelemetryHygieneChecker(Checker):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         allowed_spans = self._allowed_span_calls(ctx.tree)
         invariant_classes = self._invariant_classes(ctx.tree)
+        controller_classes = self._controller_classes(ctx.tree)
         registered = self._registered_invariant_calls(ctx.tree)
         yield from self._check_clock_mutation(ctx)
         yield from self._check_unprofiled_vm(ctx)
@@ -119,6 +129,16 @@ class TelemetryHygieneChecker(Checker):
                             f"health threshold {kw.arg}= hard-coded at the "
                             f"{func_name} call site; WARN/FAIL bands belong "
                             f"in one HealthThresholds config object",
+                        )
+            if func_name in controller_classes:
+                for kw in node.keywords:
+                    if kw.arg is not None and _is_numeric_literal(kw.value):
+                        yield ctx.finding(
+                            kw.value, self.rule,
+                            f"controller threshold {kw.arg}= hard-coded at "
+                            f"the {func_name} call site; tuning constants "
+                            f"belong in the matching options object (e.g. "
+                            f"BufferControllerOptions)",
                         )
 
     # -- telemetry-artifact writes -------------------------------------------
@@ -257,6 +277,26 @@ class TelemetryHygieneChecker(Checker):
                 bases = {dotted_name(b) for b in node.bases}
                 if any(b and b.endswith("Invariant") for b in bases):
                     names.add(node.name)
+        return names
+
+    @staticmethod
+    def _controller_classes(tree: ast.Module) -> set[str]:
+        """Runtime-controller classes visible in this file: names imported
+        from the advisor/extrapolate modules ending in ``Controller``,
+        ``Predictor``, or ``Extrapolator``.  The matching ``*Options``
+        classes deliberately do not match — constructing one *is* the
+        sanctioned place for numeric thresholds."""
+        names: set[str] = set()
+        suffixes = ("Controller", "Predictor", "Extrapolator")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and (
+                node.module.endswith("advisor")
+                or node.module.endswith("extrapolate")
+            ):
+                for a in node.names:
+                    local = a.asname or a.name
+                    if a.name.endswith(suffixes):
+                        names.add(local)
         return names
 
     @staticmethod

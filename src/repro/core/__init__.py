@@ -21,7 +21,13 @@ from repro.core.ldc import LDCOptions, LDCResult, run_ldc
 from repro.core.workspace import LDCWorkspace
 from repro.core.parallel_ldc import ParallelLDCResult, run_parallel_ldc
 from repro.core.dcr import FrontierResult, density_of_states, recombine_frontier
-from repro.core.advisor import ParameterRecommendation, recommend_parameters
+from repro.core.advisor import (
+    BufferController,
+    BufferControllerOptions,
+    BufferDecision,
+    ParameterRecommendation,
+    recommend_parameters,
+)
 from repro.core.complexity import (
     buffer_for_tolerance,
     crossover_length,
@@ -44,6 +50,9 @@ __all__ = [
     "FrontierResult",
     "recombine_frontier",
     "density_of_states",
+    "BufferController",
+    "BufferControllerOptions",
+    "BufferDecision",
     "ParameterRecommendation",
     "recommend_parameters",
     "buffer_for_tolerance",

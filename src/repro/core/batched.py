@@ -23,6 +23,12 @@ which is what makes the two paths agree to ≤1e-10.
 Enable via ``LDCOptions.batch_domains=True`` or ``REPRO_BATCH_DOMAINS=1``
 (all-band eigensolver only; env-resolved requests fall back silently for
 other solvers).
+
+ASPC warm starts (``LDCOptions.history_depth``) need no special handling
+here: the batched pass seeds ``psi0[j]`` from each ``DomainState.psi``,
+which :meth:`repro.core.workspace.LDCWorkspace.prepare` has already filled
+with the extrapolated orbitals — predictor parity with the per-domain path
+holds by construction.
 """
 
 from __future__ import annotations

@@ -121,10 +121,22 @@ class LDCOptions:
     #: ≤1e-10 (parity-tested); when batching is active ``ldc_workers`` is
     #: ignored for the solve stage.
     batch_domains: bool | None = None
+    #: ASPC history window per domain (workspace runs only): 1 keeps the
+    #: plain last-state warm start, K >= 2 seeds each solve from the
+    #: time-reversible K-point extrapolation of the converged ψ/v_bc/ρ_α
+    #: (:mod:`repro.md.extrapolate`).  Not part of the structural cache
+    #: signature — changing it mid-trajectory trims/deepens the windows
+    #: without a cold restart.
+    history_depth: int = 1
 
     def __post_init__(self) -> None:
         if int(self.ldc_workers) != self.ldc_workers or self.ldc_workers < 1:
             raise ValueError("ldc_workers must be an integer >= 1")
+        if (
+            int(self.history_depth) != self.history_depth
+            or self.history_depth < 1
+        ):
+            raise ValueError("history_depth must be an integer >= 1")
         if self.batch_domains and self.eigensolver != "all_band":
             raise ValueError(
                 "batch_domains=True requires eigensolver='all_band' "
@@ -186,6 +198,14 @@ class LDCResult:
     density_residuals: list[float] = field(default_factory=list)
     boundary_errors: list[float] = field(default_factory=list)
     forces: np.ndarray | None = None
+    #: total eigensolver (LOBPCG/CG) iterations summed over every domain
+    #: solve of every SCF pass, including the final consistent pass — the
+    #: per-step cost number the warm-start/extrapolation benches gate on
+    eig_iterations: int = 0
+    #: mean gauge-invariant residual of the step's ASPC ψ predictions
+    #: against the converged blocks (None without a workspace or on the
+    #: first, cold step)
+    predictor_residual: float | None = None
 
     @property
     def n_domains(self) -> int:
@@ -579,6 +599,7 @@ def _run_ldc(
     converged = False
     it = 0
     mu = 0.0
+    eig_total = 0
     components: dict[str, float] = {}
 
     xi = opts.xi if opts.mode == "ldc" else None
@@ -602,10 +623,11 @@ def _run_ldc(
         for it in range(1, opts.max_iter + 1):
             if ins is not None:
                 t_iter = ins.tracer.now()
-            mu, rho_out, components, bnd_err, vh_prev = _scf_pass(
+            mu, rho_out, components, bnd_err, vh_prev, eig_pass = _scf_pass(
                 grid, states, rho, v_loc_global, e_ewald, n_electrons,
                 xi, mg, vh_prev, opts, ins, executor, san, batch_pool,
             )  # vh_prev is reused as the next iteration's Poisson warm start
+            eig_total += eig_pass
             if san is not None and san.numerics is not None:
                 san.numerics.check(
                     "rho_new", rho_out, where=f"ldc.iteration[{it}]",
@@ -654,17 +676,25 @@ def _run_ldc(
             )
 
         # Final consistent evaluation at the converged density.
-        mu, rho_final, components, bnd_err, _ = _scf_pass(
+        mu, rho_final, components, bnd_err, _, eig_pass = _scf_pass(
             grid, states, rho, v_loc_global, e_ewald, n_electrons,
             xi, mg, vh_prev, opts, ins, executor, san, batch_pool,
         )
+        eig_total += eig_pass
     finally:
         if executor is not None:
             executor.shutdown(wait=True)
     rho_final = renormalize(np.clip(rho_final, 0.0, None), n_electrons, grid.dv)
 
+    predictor_residual: float | None = None
     if workspace is not None:
-        workspace.store(states)  # next step's orbital warm start
+        # push converged states onto the ASPC windows for the next step's
+        # warm start; store() also settles the predictor residual of the
+        # guesses this step started from
+        workspace.store(states, opts)
+        predictor_residual = workspace.predictor_residual
+        if ins is not None and predictor_residual is not None:
+            ins.series("ldc.predictor_residual").append(predictor_residual)
 
     if hm is not None:
         hm.observe(
@@ -690,6 +720,8 @@ def _run_ldc(
         history=history,
         density_residuals=residuals,
         boundary_errors=boundary_errors,
+        eig_iterations=eig_total,
+        predictor_residual=predictor_residual,
     )
     if compute_forces:
         from repro.core.forces import ldc_forces
@@ -713,7 +745,7 @@ def _scf_pass(
     executor: ThreadPoolExecutor | None = None,
     san: Sanitizers | None = None,
     batch_pool: DomainScratch | None = None,
-) -> tuple[float, np.ndarray, dict[str, float], float, np.ndarray]:
+) -> tuple[float, np.ndarray, dict[str, float], float, np.ndarray, int]:
     """One global-local pass: potentials → domain solves → μ → density.
 
     The per-domain solves are independent; with ``executor`` set they fan
@@ -729,7 +761,8 @@ def _scf_pass(
     checks the potential/eigenvalue checkpoints.
 
     Returns (μ, assembled density, energy components, mean boundary-density
-    error, Hartree potential field — the caller's Poisson warm start).
+    error, Hartree potential field — the caller's Poisson warm start, and
+    the summed eigensolver iterations over every domain solve).
     """
     if mg is not None:
         vh = mg.solve(rho, v0=vh_warm, tol=1e-8)
@@ -893,4 +926,5 @@ def _scf_pass(
         grid, rho, vh, vxc, band_e, vbc_corr, e_ewald, eigs_cat, w_cat, mu, opts.kt
     )
     mean_err = bnd_err_total / n_active if n_active else 0.0
-    return mu, rho_new, components, mean_err, vh
+    eig_pass = sum(int(res.iterations) for res, _, _ in outcomes)
+    return mu, rho_new, components, mean_err, vh, eig_pass

@@ -17,16 +17,20 @@ rebuilds only the atom-dependent pieces — the nonlocal projectors and
 (in ``vion="domain"`` mode) the domain-local ionic potentials.
 
 On top of the structural reuse the workspace **warm-starts each domain's
-orbitals** from its previous converged ψ, together with the settled
-boundary potential v_bc and local density ρ_α (restarting the damped v_bc
-iteration from zero would otherwise dominate the step-2 SCF count).  A
-domain whose band count changed (atoms migrated across a boundary between
-steps) falls back to the same deterministic random start the cold path
-uses.  Orbital warm starts are the
-dominant lever on MD throughput: the eigensolver starts inside the converged
-subspace of the previous step and typically needs a small fraction of the
+orbitals** from a bounded history of its converged states: each domain
+keeps a :class:`~repro.md.extrapolate.DomainHistory` window of (ψ, v_bc,
+ρ_α) snapshots, and ``prepare`` seeds the next solve from the ASPC
+prediction over the last ``LDCOptions.history_depth`` of them (depth 1
+degrades to verbatim last-state reuse — the PR 4 behaviour; restarting
+the damped v_bc iteration from zero would otherwise dominate the step-2
+SCF count).  A domain whose identity changed — atoms migrated across a
+boundary, the band count moved — invalidates its window and falls back to
+the same deterministic random start the cold path uses.  Orbital warm
+starts are the dominant lever on MD throughput: the eigensolver starts
+inside (depth 1) or ahead of (depth ≥ 2, extrapolated) the previous
+step's converged subspace and typically needs a small fraction of the
 cold iteration count (cf. DGDFT, arXiv:2003.00407; Scheiber et al.,
-arXiv:1803.04536).
+arXiv:1803.04536; Kolafa's ASPC).
 
 Thread it through :func:`repro.core.ldc.run_ldc` via ``workspace=``;
 :class:`repro.md.qmd.LDCEngine` creates one automatically so ``QMDDriver``
@@ -49,6 +53,7 @@ from repro.systems.configuration import Configuration
 
 if TYPE_CHECKING:
     from repro.core.ldc import DomainState, LDCOptions
+    from repro.md.extrapolate import DomainHistory
 
 
 class DomainScratch:
@@ -105,6 +110,18 @@ class DomainScratch:
         return self._flat
 
 
+def _domain_key(
+    atom_indices: np.ndarray, npw: int, nband: int
+) -> tuple:
+    """The identity of a domain's electronic problem across MD steps.
+
+    History snapshots are only reusable while this is unchanged: the basis
+    size, the band count, and *which* atoms the domain owns (a migrated
+    atom changes the local problem even at equal band count).
+    """
+    return (int(npw), int(nband), tuple(int(i) for i in atom_indices))
+
+
 def _options_signature(options: LDCOptions) -> tuple:
     """The option fields the cached structures depend on.
 
@@ -145,11 +162,15 @@ class LDCWorkspace:
         self.decomposition: DomainDecomposition | None = None
         self.pou: list[np.ndarray] | None = None
         self._bases: dict[int, PlaneWaveBasis] = {}
-        #: converged per-domain solver state (ψ, v_bc, ρ_α) saved by
-        #: :meth:`store`, keyed by domain index
-        self._solver_state: dict[
-            int, tuple[np.ndarray, np.ndarray | None, np.ndarray | None]
-        ] = {}
+        #: bounded per-domain ASPC windows of converged (ψ, v_bc, ρ_α)
+        #: snapshots (:class:`~repro.md.extrapolate.DomainHistory`), keyed
+        #: by domain index; filled by :meth:`store`, consumed by
+        #: :meth:`prepare`
+        self._history: dict[int, DomainHistory] = {}
+        #: mean gauge-invariant residual of the last step's ψ predictions
+        #: against the converged blocks (None until a predicted step has
+        #: been stored) — the ``ldc.predictor_residual`` series
+        self.predictor_residual: float | None = None
         self._ewald: EwaldStructure | None = None
         #: per-domain reusable work buffers (gathered potentials, v_bc
         #: targets, band densities), attached to each ``DomainState`` by
@@ -170,27 +191,28 @@ class LDCWorkspace:
     @property
     def has_orbitals(self) -> bool:
         """Whether the next ``prepare`` can seed any domain from cached ψ."""
-        return bool(self._solver_state)
+        return any(len(h) for h in self._history.values())
 
     def shared_buffers(self) -> dict[str, np.ndarray]:
         """Arrays shared across the ``ldc_workers`` fan-out, by name.
 
         This is the race sanitizer's guard list
         (:meth:`repro.sanitize.race.RaceSanitizer.guard_readonly`): the
-        partition-of-unity windows and every cached converged ψ/v_bc/ρ_α
-        are read concurrently by domain workers and must only be written
-        by the coordinating thread after the join.
+        partition-of-unity windows and every history snapshot of converged
+        ψ/v_bc/ρ_α are read concurrently by domain workers and must only
+        be written by the coordinating thread after the join.
         """
         buffers: dict[str, np.ndarray] = {}
         if self.pou is not None:
             for idom, window in enumerate(self.pou):
                 buffers[f"pou[{idom}]"] = window
-        for idom, (psi, vbc, rho_a) in self._solver_state.items():
-            buffers[f"psi[{idom}]"] = psi
-            if vbc is not None:
-                buffers[f"vbc[{idom}]"] = vbc
-            if rho_a is not None:
-                buffers[f"rho_local[{idom}]"] = rho_a
+        for idom, hist in self._history.items():
+            for depth, (psi, vbc, rho_a) in enumerate(hist._entries):
+                buffers[f"psi[{idom}]@{depth}"] = psi
+                if vbc is not None:
+                    buffers[f"vbc[{idom}]@{depth}"] = vbc
+                if rho_a is not None:
+                    buffers[f"rho_local[{idom}]@{depth}"] = rho_a
         return buffers
 
     def reset(self) -> None:
@@ -201,7 +223,8 @@ class LDCWorkspace:
         self.decomposition = None
         self.pou = None
         self._bases.clear()
-        self._solver_state.clear()
+        self._history.clear()
+        self.predictor_residual = None
         self._ewald = None
         self._scratch.clear()
         self.batch_pool = DomainScratch()
@@ -260,8 +283,10 @@ class LDCWorkspace:
         Structural pieces (grid, decomposition, supports, bases) come from
         the cache; atom-dependent pieces (nonlocal projectors, domain-local
         ionic potentials) are rebuilt.  Each domain's ψ is seeded from the
-        previous step's converged orbitals when its band count is unchanged,
-        otherwise from the cold path's deterministic random start.
+        ASPC prediction over its history window (depth 1 = the previous
+        step's converged orbitals verbatim) when its identity ``(npw,
+        nband, atoms)`` is unchanged, otherwise from the cold path's
+        deterministic random start.
         """
         from repro.core.ldc import DomainState
 
@@ -288,14 +313,21 @@ class LDCWorkspace:
             nband = min(
                 int(np.ceil(ne_local / 2.0)) + options.extra_bands, basis.npw
             )
-            cached = self._solver_state.get(idom)
+            hist = self._history.get(idom)
+            key = _domain_key(idx, basis.npw, nband)
+            predicted = (
+                hist.predict(key, depth=options.history_depth)
+                if hist is not None
+                else None
+            )
             vbc = rho_local = None
-            if cached is not None and cached[0].shape == (basis.npw, nband):
-                # warm: previous converged ψ, plus the settled boundary
-                # potential and local density — without them the damped
-                # v_bc iteration re-converges from scratch and the orbital
-                # warm start buys far less
-                psi, vbc, rho_local = cached
+            if predicted is not None:
+                # warm: ASPC-predicted ψ (depth 1 = previous converged ψ
+                # verbatim), plus the settled boundary potential and local
+                # density — without them the damped v_bc iteration
+                # re-converges from scratch and the orbital warm start
+                # buys far less
+                psi, vbc, rho_local = predicted
                 self.warm_domains += 1
             else:
                 # same deterministic seeding as the cold path in
@@ -323,12 +355,44 @@ class LDCWorkspace:
         self.steps += 1
         return self.grid, decomp, states
 
-    def store(self, states: list[DomainState]) -> None:
-        """Save each domain's converged solver state (ψ, v_bc, ρ_α) for the
-        next step's warm start."""
-        self._solver_state.clear()
+    def store(
+        self, states: list[DomainState], options: LDCOptions | None = None
+    ) -> None:
+        """Push each domain's converged solver state (ψ, v_bc, ρ_α) onto
+        its ASPC window for the next step's warm start.
+
+        Also settles :attr:`predictor_residual`: the mean gauge-invariant
+        distance between the ψ each window predicted for *this* step and
+        the block that actually converged — the per-step predictor-quality
+        number the run ledger tracks.
+        """
+        from repro.md.extrapolate import DomainHistory, subspace_residual
+
+        depth = max(1, options.history_depth) if options is not None else 1
+        residuals: list[float] = []
+        live = set()
         for idom, state in enumerate(states):
-            if state.nband and state.psi is not None:
-                self._solver_state[idom] = (
-                    state.psi, state.vbc, state.rho_local
-                )
+            if not state.nband or state.psi is None or state.basis is None:
+                continue
+            live.add(idom)
+            hist = self._history.get(idom)
+            if hist is None:
+                hist = DomainHistory(depth=depth)
+                self._history[idom] = hist
+            elif hist.depth != depth:
+                hist.resize(depth)
+            if hist.last_prediction is not None:
+                res = subspace_residual(hist.last_prediction, state.psi)
+                if np.isfinite(res):
+                    residuals.append(res)
+                hist.last_prediction = None
+            key = _domain_key(
+                state.atom_indices, state.basis.npw, state.nband
+            )
+            hist.push(key, state.psi, state.vbc, state.rho_local)
+        for idom in list(self._history):
+            if idom not in live:
+                del self._history[idom]
+        self.predictor_residual = (
+            float(np.mean(residuals)) if residuals else None
+        )

@@ -90,6 +90,10 @@ class SCFResult:
     iterations: int
     history: list[float] = field(default_factory=list)
     density_residuals: list[float] = field(default_factory=list)
+    #: total eigensolver iterations summed over every solve of the run
+    #: (including the final consistent pass) — the per-step cost number
+    #: the warm-start/extrapolation benches gate on
+    eig_iterations: int = 0
 
 
 def initial_density(grid: RealSpaceGrid, config: Configuration) -> np.ndarray:
@@ -173,6 +177,7 @@ def run_scf(
     instrumentation: Instrumentation | None = None,
     psi0: np.ndarray | None = None,
     sanitize: "Sanitizers | None" = None,
+    warm_cell: np.ndarray | None = None,
 ) -> SCFResult:
     """Run the conventional SCF loop to self-consistency.
 
@@ -204,9 +209,23 @@ def run_scf(
         slot checks density/eigenvalue checkpoints each iteration.  The
         default ``None`` defers to ``REPRO_SANITIZE`` and, when unset,
         executes zero sanitizer code.
+    warm_cell:
+        The cell ``rho0``/``psi0`` were converged in.  When given and
+        different from ``config.cell``, both warm starts are dropped
+        (deterministic cold start) — the same guard every engine used to
+        implement privately, hoisted here so *all* callers get it.  A
+        cell change usually also changes the grid/basis shape, but not
+        always (e.g. a pure rescale): matching shapes over a different
+        cell are exactly the stale warm start this catches.
     """
     opts = options or SCFOptions()
     san = sanitize if sanitize is not None else ENV_SANITIZERS
+    if warm_cell is not None and not np.array_equal(
+        np.asarray(warm_cell, dtype=float).reshape(-1),
+        np.asarray(config.cell, dtype=float).reshape(-1),
+    ):
+        rho0 = None  # density lives on the old cell's grid
+        psi0 = None  # orbitals live on the old cell's basis
     if instrumentation is None:
         return _run_scf(config, opts, v_extra, rho0, grid, None, psi0, san)
     if instrumentation.recorder is not None:
@@ -295,6 +314,7 @@ def _run_scf(
     eigs = np.zeros(nband)
     vh = np.zeros(grid.shape)
     it = 0
+    eig_total = 0
 
     for it in range(1, opts.max_iter + 1):
         if ins is not None:
@@ -314,6 +334,7 @@ def _run_scf(
                 )
         psi = eig.orbitals
         eigs = eig.eigenvalues
+        eig_total += int(eig.iterations)
         mu, occs = _occupy(eigs, n_electrons, opts)
         rho_out = density_from_fields(eig.fields, occs)
         rho_out = renormalize(rho_out, n_electrons, grid.dv)
@@ -366,6 +387,7 @@ def _run_scf(
     eig = _solve(ham, psi, opts, ins)
     psi = eig.orbitals
     eigs = eig.eigenvalues
+    eig_total += int(eig.iterations)
     mu, occs = _occupy(eigs, n_electrons, opts)
     rho_final = renormalize(
         density_from_fields(eig.fields, occs), n_electrons, grid.dv
@@ -406,6 +428,7 @@ def _run_scf(
         iterations=it,
         history=history,
         density_residuals=residuals,
+        eig_iterations=eig_total,
     )
 
 

@@ -5,7 +5,14 @@ and the QMD driver that couples MD to a quantum (or surrogate) force engine.
 from repro.md.integrator import VelocityVerlet, kinetic_energy, temperature
 from repro.md.thermostat import BerendsenThermostat, LangevinThermostat
 from repro.md.neighbors import NeighborList
-from repro.md.qmd import QMDDriver, QMDFrame, LDCEngine, SCFEngine
+from repro.md.qmd import QMDDriver, QMDFrame, LDCEngine, QMDOptions, SCFEngine
+from repro.md.extrapolate import (
+    DomainHistory,
+    aspc_coefficients,
+    extrapolate_fields,
+    extrapolate_orbitals,
+    subspace_residual,
+)
 from repro.md.observables import (
     coordination_number,
     diffusion_constant,
@@ -24,7 +31,13 @@ __all__ = [
     "QMDDriver",
     "QMDFrame",
     "LDCEngine",
+    "QMDOptions",
     "SCFEngine",
+    "DomainHistory",
+    "aspc_coefficients",
+    "extrapolate_fields",
+    "extrapolate_orbitals",
+    "subspace_residual",
     "radial_distribution",
     "mean_square_displacement",
     "diffusion_constant",

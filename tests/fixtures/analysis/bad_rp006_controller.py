@@ -1,0 +1,19 @@
+"""RP006 fixture: controller thresholds hard-coded at the call site.
+
+Two violations (the two numeric-literal keywords on the BufferController
+construction); the BufferControllerOptions construction below is the
+sanctioned home for thresholds and must NOT be flagged.
+"""
+
+from repro.core.advisor import BufferController, BufferControllerOptions
+
+
+def bad_controller():
+    # numeric literals on the controller itself: 2 findings
+    return BufferController(decay_length=2.0, adjustments=0)
+
+
+def good_controller():
+    # thresholds inside the *Options object: sanctioned, 0 findings
+    opts = BufferControllerOptions(target_error=1e-3, band=2.0)
+    return BufferController(opts)

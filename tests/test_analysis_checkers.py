@@ -88,6 +88,20 @@ def test_rp006_flags_health_hygiene_violations():
     assert len(findings) == 4
 
 
+def test_rp006_flags_controller_threshold_literals():
+    findings = [
+        f for f in unsuppressed(
+            check_file(FIXTURES / "bad_rp006_controller.py")
+        )
+        if f.rule == "RP006"
+    ]
+    # the two numeric-literal keywords on BufferController(...) — the
+    # BufferControllerOptions(...) construction is sanctioned and silent
+    assert len(findings) == 2
+    assert all("hard-coded" in f.message for f in findings)
+    assert all("BufferControllerOptions" in f.message for f in findings)
+
+
 def test_rp006_accepts_registered_invariants(tmp_path):
     good = tmp_path / "good_health.py"
     good.write_text(
